@@ -1,0 +1,62 @@
+//! The uniform interface the evaluation harness drives.
+
+use simrank_common::NodeId;
+use simrank_graph::CsrGraph;
+
+/// A single-source SimRank method with an optional preprocessing phase.
+///
+/// `query` takes `&mut self` because sampling methods consume internal RNG
+/// state (each query derives a fresh sub-seed, so results stay reproducible
+/// per `(configuration, query)` pair regardless of query order).
+pub trait SimRankMethod {
+    /// Short method name for reports (`"SimPush"`, `"ProbeSim"`, …).
+    fn name(&self) -> String;
+
+    /// Builds the method's index for `g`. Index-free methods do nothing.
+    /// Called once before any `query`; calling `query` without it on an
+    /// index-based method panics.
+    fn preprocess(&mut self, _g: &CsrGraph) {}
+
+    /// Answers a single-source query: returns `s̃(u, v)` for all `v`
+    /// (`scores[u] = 1`).
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64>;
+
+    /// Heap bytes held by the index (0 for index-free methods) — the
+    /// Figure 6 memory signal.
+    fn index_bytes(&self) -> usize {
+        0
+    }
+
+    /// True if the method requires `preprocess` before querying.
+    fn is_indexed(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl SimRankMethod for Dummy {
+        fn name(&self) -> String {
+            "Dummy".into()
+        }
+        fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+            use simrank_graph::GraphView;
+            let mut s = vec![0.0; g.num_nodes()];
+            s[u as usize] = 1.0;
+            s
+        }
+    }
+
+    #[test]
+    fn defaults_are_index_free() {
+        let mut d = Dummy;
+        assert!(!d.is_indexed());
+        assert_eq!(d.index_bytes(), 0);
+        let g = simrank_graph::gen::shapes::path(3);
+        d.preprocess(&g); // no-op
+        assert_eq!(d.query(&g, 1), vec![0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Naive Monte-Carlo single-source SimRank (paper [5], used for ground
+//! truth).
+//!
+//! For each candidate `v`, estimates `s(u, v)` by sampling pairs of
+//! √c-walks. A full single-source sweep is `O(n · samples)` and only viable
+//! on small graphs or restricted candidate pools — which is exactly how the
+//! paper uses it (pooled ground truth, §5.1). The pooled path lives in
+//! `simrank-eval`; this module provides the method wrapper so that MC can
+//! participate in correctness tests like any other method.
+
+use crate::api::SimRankMethod;
+use simrank_common::seeds::splitmix64;
+use simrank_common::NodeId;
+use simrank_graph::{CsrGraph, GraphView};
+use simrank_walks::{pairwise_simrank_mc, WalkParams};
+
+/// Monte-Carlo single-source estimator.
+pub struct MonteCarloSS {
+    /// Walk-pair samples per node pair.
+    pub samples: usize,
+    /// Decay factor.
+    pub c: f64,
+    /// Master seed; each `(u, v)` pair derives its own stream.
+    pub seed: u64,
+}
+
+impl MonteCarloSS {
+    /// Creates an estimator with the paper's decay (0.6).
+    pub fn new(samples: usize, seed: u64) -> Self {
+        Self {
+            samples,
+            c: 0.6,
+            seed,
+        }
+    }
+
+    /// Estimates `s(u, v)` for one pair (deterministic per `(seed, u, v)`).
+    pub fn pair<G: GraphView>(&self, g: &G, u: NodeId, v: NodeId) -> f64 {
+        if u == v {
+            return 1.0;
+        }
+        let mut st = self.seed ^ ((u as u64) << 32) ^ v as u64;
+        let pair_seed = splitmix64(&mut st);
+        pairwise_simrank_mc(g, u, v, WalkParams::new(self.c), self.samples, pair_seed)
+    }
+}
+
+impl SimRankMethod for MonteCarloSS {
+    fn name(&self) -> String {
+        format!("MC(s={})", self.samples)
+    }
+
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+        let n = g.num_nodes();
+        let mut scores = vec![0.0; n];
+        for v in 0..n as NodeId {
+            scores[v as usize] = self.pair(g, u, v);
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_method;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn single_source_matches_power_method() {
+        let g = shapes::jeh_widom();
+        let exact = power_method(&g, 0.6, 1e-12, 100);
+        let mut mc = MonteCarloSS::new(120_000, 5);
+        let scores = mc.query(&g, 1);
+        for v in 0..5u32 {
+            assert!(
+                (scores[v as usize] - exact.get(1, v)).abs() < 0.01,
+                "v={v}: mc {} exact {}",
+                scores[v as usize],
+                exact.get(1, v)
+            );
+        }
+    }
+
+    #[test]
+    fn pair_is_deterministic_and_symmetric_in_expectation() {
+        let g = shapes::shared_parents();
+        let mc = MonteCarloSS::new(50_000, 9);
+        assert_eq!(mc.pair(&g, 0, 1), mc.pair(&g, 0, 1));
+        assert!((mc.pair(&g, 0, 1) - 0.3).abs() < 0.02);
+        assert_eq!(mc.pair(&g, 2, 2), 1.0);
+    }
+
+    #[test]
+    fn name_reports_sample_count() {
+        assert_eq!(MonteCarloSS::new(10, 0).name(), "MC(s=10)");
+    }
+}

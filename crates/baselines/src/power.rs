@@ -1,0 +1,208 @@
+//! Exact all-pairs SimRank via the power method (paper §6, Eq. 13).
+//!
+//! Iterates `S ← (c·Wᵀ…)` — concretely, with `W[u][u'] = 1/|I(u)|` for
+//! `u' ∈ I(u)`:
+//!
+//! ```text
+//! S_{k+1}(u,v) = c · (W · S_k · Wᵀ)(u,v)   for u ≠ v,   S_{k+1}(u,u) = 1
+//! ```
+//!
+//! which converges linearly with rate `c` to the SimRank fixed point. The
+//! `O(n²)` matrix limits this to small graphs; it is the test-suite oracle
+//! and the ground truth for small benchmark graphs (the paper uses
+//! high-sample Monte-Carlo instead because its graphs are huge).
+
+use simrank_common::NodeId;
+use simrank_graph::GraphView;
+
+/// Dense exact SimRank matrix.
+pub struct ExactSimRank {
+    n: usize,
+    s: Vec<f64>, // row-major n×n
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+impl ExactSimRank {
+    /// `s(u, v)`.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.s[u as usize * self.n + v as usize]
+    }
+
+    /// The single-source row `s(u, ·)` as a fresh vector.
+    pub fn single_source(&self, u: NodeId) -> Vec<f64> {
+        self.s[u as usize * self.n..(u as usize + 1) * self.n].to_vec()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+}
+
+/// Runs the power method until the max element change drops below `tol` or
+/// `max_iters` is reached. Residual error after convergence is at most
+/// `c^k/(1−c)`-bounded; with `tol = 1e-12` the result is exact to ~1e-11.
+///
+/// # Panics
+/// Panics if `c ∉ (0,1)` or the graph has more than ~46k nodes (n² would
+/// exceed 16 GiB of f64s; this oracle is for small graphs only).
+pub fn power_method<G: GraphView>(g: &G, c: f64, tol: f64, max_iters: usize) -> ExactSimRank {
+    assert!(c > 0.0 && c < 1.0, "decay factor must lie in (0,1)");
+    let n = g.num_nodes();
+    assert!(n <= 46_000, "power method is O(n²) memory; {n} nodes is too large");
+    let mut s = vec![0.0; n * n];
+    for u in 0..n {
+        s[u * n + u] = 1.0;
+    }
+    if n == 0 {
+        return ExactSimRank { n, s, iterations: 0 };
+    }
+
+    let mut a = vec![0.0; n * n]; // W · S
+    let mut next = vec![0.0; n * n];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // A[u] = mean of S rows over u's in-neighbours (zero row if none).
+        a.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let ins = g.in_neighbors(u as NodeId);
+            if ins.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / ins.len() as f64;
+            let row = &mut a[u * n..(u + 1) * n];
+            for &up in ins {
+                let src = &s[up as usize * n..(up as usize + 1) * n];
+                for (acc, &x) in row.iter_mut().zip(src) {
+                    *acc += x;
+                }
+            }
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+        // next[u][v] = c · mean of A[u][v'] over v's in-neighbours; diag 1.
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let arow = &a[u * n..(u + 1) * n];
+            let nrow = &mut next[u * n..(u + 1) * n];
+            for (v, slot) in nrow.iter_mut().enumerate() {
+                let ins = g.in_neighbors(v as NodeId);
+                if ins.is_empty() {
+                    continue;
+                }
+                let mut acc = 0.0;
+                for &vp in ins {
+                    acc += arow[vp as usize];
+                }
+                *slot = c * acc / ins.len() as f64;
+            }
+            nrow[u] = 1.0;
+        }
+        // Convergence check.
+        let delta = s
+            .iter()
+            .zip(next.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        std::mem::swap(&mut s, &mut next);
+        if delta < tol {
+            break;
+        }
+    }
+    ExactSimRank { n, s, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrank_graph::gen::shapes;
+
+    fn exact(g: &impl GraphView) -> ExactSimRank {
+        power_method(g, 0.6, 1e-12, 100)
+    }
+
+    #[test]
+    fn hand_values() {
+        let e1 = exact(&shapes::single_parent());
+        assert!((e1.get(0, 1) - 0.6).abs() < 1e-10);
+        let e2 = exact(&shapes::shared_parents());
+        assert!((e2.get(0, 1) - 0.3).abs() < 1e-10);
+        assert_eq!(e2.get(2, 3), 0.0, "source nodes share nothing");
+    }
+
+    #[test]
+    fn diagonal_is_one_and_matrix_symmetric() {
+        let e = exact(&shapes::jeh_widom());
+        for u in 0..5 {
+            assert_eq!(e.get(u, u), 1.0);
+            for v in 0..5 {
+                assert!((e.get(u, v) - e.get(v, u)).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&e.get(u, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo_on_jeh_widom() {
+        let g = shapes::jeh_widom();
+        let e = exact(&g);
+        let params = simrank_walks::WalkParams::new(0.6);
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                let mc = simrank_walks::pairwise_simrank_mc(&g, u, v, params, 300_000, 77);
+                assert!(
+                    (mc - e.get(u, v)).abs() < 0.006,
+                    "({u},{v}): power {} mc {mc}",
+                    e.get(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directed_cycle_has_zero_offdiagonal_simrank() {
+        // Lock-step walks on a directed cycle preserve their gap forever, so
+        // distinct nodes never meet: s(u,v) = 0 for all u ≠ v.
+        let e = exact(&shapes::cycle(4));
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    assert_eq!(e.get(u, v), 0.0, "({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_row_matches_get() {
+        let e = exact(&shapes::jeh_widom());
+        let row = e.single_source(2);
+        for v in 0..5u32 {
+            assert_eq!(row[v as usize], e.get(2, v));
+        }
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let e = exact(&shapes::jeh_widom());
+        assert!(e.iterations < 70, "took {} iterations", e.iterations);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let e0 = exact(&simrank_graph::CsrGraph::empty(0));
+        assert_eq!(e0.num_nodes(), 0);
+        let e1 = exact(&simrank_graph::CsrGraph::empty(1));
+        assert_eq!(e1.get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_huge_graphs() {
+        power_method(&simrank_graph::CsrGraph::empty(100_000), 0.6, 1e-6, 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! READS (Jiang et al., PVLDB 2017), static variant — index-based
+//! (paper §2.2).
+//!
+//! Preprocessing draws `r` sample sets; in each set every node gets one
+//! √c-walk of depth `≤ t`. The index is, per set, an inverted occupancy map
+//! `(node, step) → origins`, which is exactly what the original's compressed
+//! SA-forest encodes. A query re-derives `u`'s stored walk (walks are
+//! generated from per-`(set, node)` seeds, so nothing needs to be stored
+//! twice) and intersects it with the occupancy map: `v` counts in a set iff
+//! the two stored walks first meet, giving
+//! `ŝ(u,v) = (1/r)·Σ_set 1[meet]` — unbiased up to the depth-`t` truncation
+//! the `(r, t)` parameterisation trades on.
+
+use crate::api::SimRankMethod;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simrank_common::seeds::splitmix64;
+use simrank_common::{FxHashMap, FxHashSet, NodeId};
+use simrank_graph::{CsrGraph, GraphView};
+use simrank_walks::{sample_walk, WalkParams};
+
+/// The READS method (static).
+pub struct Reads {
+    /// Number of sample sets (`r` in the paper's parameter grid).
+    pub r: usize,
+    /// Maximum walk depth (`t`).
+    pub t: usize,
+    /// Decay factor.
+    pub c: f64,
+    /// Master seed.
+    pub seed: u64,
+    index: Option<ReadsIndex>,
+}
+
+struct ReadsIndex {
+    /// Per sample set: `(node, step) → origins whose walk is there`.
+    occupancy: Vec<FxHashMap<(NodeId, u8), Vec<NodeId>>>,
+    bytes: usize,
+}
+
+impl Reads {
+    /// Standard configuration (`c = 0.6`).
+    pub fn new(r: usize, t: usize, seed: u64) -> Self {
+        assert!(r >= 1 && t >= 1, "need at least one sample set and one step");
+        Self {
+            r,
+            t,
+            c: 0.6,
+            seed,
+            index: None,
+        }
+    }
+
+    /// Deterministic per-(set, node) walk seed — the coupling that lets the
+    /// query re-derive `u`'s stored walk without storing it.
+    fn walk_seed(&self, set: usize, v: NodeId) -> u64 {
+        let mut st = self.seed ^ ((set as u64) << 40) ^ ((v as u64) << 1);
+        splitmix64(&mut st)
+    }
+}
+
+impl SimRankMethod for Reads {
+    fn name(&self) -> String {
+        format!("READS(r={},t={})", self.r, self.t)
+    }
+
+    fn is_indexed(&self) -> bool {
+        true
+    }
+
+    fn preprocess(&mut self, g: &CsrGraph) {
+        let params = WalkParams::new(self.c);
+        let mut occupancy = Vec::with_capacity(self.r);
+        let mut bytes = 0usize;
+        for set in 0..self.r {
+            let mut map: FxHashMap<(NodeId, u8), Vec<NodeId>> = FxHashMap::default();
+            for v in 0..g.num_nodes() as NodeId {
+                let mut rng = SmallRng::seed_from_u64(self.walk_seed(set, v));
+                let walk = sample_walk(g, v, params, self.t, &mut rng);
+                for (step, &w) in walk.iter().enumerate().skip(1) {
+                    map.entry((w, step as u8)).or_default().push(v);
+                }
+            }
+            bytes += map
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<NodeId>() + 24)
+                .sum::<usize>();
+            occupancy.push(map);
+        }
+        self.index = Some(ReadsIndex { occupancy, bytes });
+    }
+
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+        let idx = self
+            .index
+            .as_ref()
+            .expect("READS requires preprocess() before query()");
+        let n = g.num_nodes();
+        let params = WalkParams::new(self.c);
+        let mut scores = vec![0.0; n];
+        let mut met: FxHashSet<NodeId> = FxHashSet::default();
+        for (set, map) in idx.occupancy.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(self.walk_seed(set, u));
+            let walk = sample_walk(g, u, params, self.t, &mut rng);
+            met.clear();
+            for (step, &w) in walk.iter().enumerate().skip(1) {
+                if let Some(origins) = map.get(&(w, step as u8)) {
+                    for &v in origins {
+                        if v != u && met.insert(v) {
+                            scores[v as usize] += 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        let inv = 1.0 / self.r as f64;
+        for s in &mut scores {
+            *s *= inv;
+        }
+        scores[u as usize] = 1.0;
+        scores
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, |i| i.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_method;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn matches_power_method_within_sampling_noise() {
+        let g = shapes::jeh_widom();
+        let exact = power_method(&g, 0.6, 1e-12, 100);
+        let mut reads = Reads::new(4000, 12, 1);
+        reads.preprocess(&g);
+        for u in 0..5 as NodeId {
+            let scores = reads.query(&g, u);
+            for v in 0..5 as NodeId {
+                let diff = (scores[v as usize] - exact.get(u, v)).abs();
+                // 4000 sets → σ ≤ 0.008; depth-12 truncation ≤ c¹²/(1−c) ≈ 0.005.
+                assert!(
+                    diff < 0.04,
+                    "u={u} v={v}: reads {} exact {}",
+                    scores[v as usize],
+                    exact.get(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_biases_downward() {
+        // With t = 1 only step-1 meetings count: shared_parents still gives
+        // exactly c/2 (all meetings happen at step 1 there).
+        let g = shapes::shared_parents();
+        let mut reads = Reads::new(6000, 1, 2);
+        reads.preprocess(&g);
+        let scores = reads.query(&g, 0);
+        assert!((scores[1] - 0.3).abs() < 0.02, "s̃(a,b) = {}", scores[1]);
+    }
+
+    #[test]
+    fn query_walk_matches_stored_walk() {
+        // The first-meeting dedup assumes query-side regeneration equals the
+        // stored walk; verify the seed coupling on a deterministic chain.
+        let g = shapes::cycle(6);
+        let reads = Reads::new(3, 5, 7);
+        let params = WalkParams::new(0.6);
+        for set in 0..3 {
+            let mut rng1 = SmallRng::seed_from_u64(reads.walk_seed(set, 2));
+            let mut rng2 = SmallRng::seed_from_u64(reads.walk_seed(set, 2));
+            assert_eq!(
+                sample_walk(&g, 2, params, 5, &mut rng1),
+                sample_walk(&g, 2, params, 5, &mut rng2)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "preprocess")]
+    fn query_without_index_panics() {
+        let g = shapes::path(3);
+        Reads::new(2, 2, 0).query(&g, 0);
+    }
+
+    #[test]
+    fn index_bytes_scale_with_r() {
+        let g = simrank_graph::gen::gnm(200, 1000, 3);
+        let mut small = Reads::new(5, 5, 1);
+        small.preprocess(&g);
+        let mut big = Reads::new(20, 5, 1);
+        big.preprocess(&g);
+        assert!(big.index_bytes() > 3 * small.index_bytes());
+    }
+}

@@ -1,0 +1,260 @@
+//! SLING (Tian & Xiao, SIGMOD 2016) — index-based single-source SimRank
+//! (paper §2.2).
+//!
+//! SLING materialises the decomposition `s(u,v) = Σ_ℓ Σ_w
+//! h^(ℓ)(u,w)·η(w)·h^(ℓ)(v,w)` (paper Eq. 3): the index stores every hitting
+//! probability `h^(ℓ)(v, w) ≥ ε_a` (computed by threshold reverse pushes
+//! from every node) in two views — keyed by source `v` and by meeting node
+//! `(w, ℓ)` — plus the last-meeting corrections `η(w)` estimated by paired
+//! √c-walk sampling. Queries are pure index joins.
+//!
+//! The index is typically an order of magnitude larger than the graph (the
+//! paper's Figure 6 observation) and must be rebuilt on every graph update —
+//! the cost SimPush exists to avoid.
+
+use crate::api::SimRankMethod;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::seeds::splitmix64;
+use simrank_common::{FxHashMap, NodeId};
+use simrank_graph::{CsrGraph, GraphView};
+
+/// The SLING method.
+pub struct Sling {
+    /// Index threshold `ε_a`: hitting probabilities below it are neither
+    /// stored nor propagated.
+    pub eps_index: f64,
+    /// Paired-walk samples per node for `η(w)`.
+    pub eta_samples: usize,
+    /// Decay factor.
+    pub c: f64,
+    /// Master seed.
+    pub seed: u64,
+    index: Option<SlingIndex>,
+}
+
+struct SlingIndex {
+    /// `v → [(ℓ, w, h^(ℓ)(v,w))]`.
+    by_source: Vec<Vec<(u8, NodeId, f64)>>,
+    /// `(w, ℓ) → [(v, h^(ℓ)(v,w))]`.
+    by_meeting: FxHashMap<(NodeId, u8), Vec<(NodeId, f64)>>,
+    /// `η(w)` per node.
+    eta: Vec<f64>,
+    bytes: usize,
+}
+
+impl Sling {
+    /// Standard configuration (`c = 0.6`).
+    pub fn new(eps_index: f64, eta_samples: usize, seed: u64) -> Self {
+        assert!(eps_index > 0.0 && eps_index < 1.0, "index threshold in (0,1)");
+        Self {
+            eps_index,
+            eta_samples,
+            c: 0.6,
+            seed,
+            index: None,
+        }
+    }
+
+    /// Maximum level any stored probability can live on:
+    /// `h^(ℓ) ≤ √c^ℓ < ε_a` beyond it.
+    fn max_level(&self) -> usize {
+        ((1.0 / self.eps_index).ln() / (1.0 / self.c.sqrt()).ln()).floor() as usize
+    }
+
+}
+
+/// Estimates `η(w)`: the probability that two independent √c-walks from `w`
+/// never meet at any step `≥ 1`. Shared by SLING and PRSim (both papers use
+/// this last-meeting correction).
+pub fn eta_by_sampling<G: GraphView>(
+    g: &G,
+    w: NodeId,
+    sqrt_c: f64,
+    samples: usize,
+    rng: &mut SmallRng,
+) -> f64 {
+    let mut never = 0usize;
+    'pair: for _ in 0..samples {
+        let (mut a, mut b) = (w, w);
+        loop {
+            if rng.gen::<f64>() >= sqrt_c || rng.gen::<f64>() >= sqrt_c {
+                never += 1;
+                continue 'pair;
+            }
+            let (ia, ib) = (g.in_neighbors(a), g.in_neighbors(b));
+            if ia.is_empty() || ib.is_empty() {
+                never += 1;
+                continue 'pair;
+            }
+            a = ia[rng.gen_range(0..ia.len())];
+            b = ib[rng.gen_range(0..ib.len())];
+            if a == b {
+                continue 'pair; // met again: this pair does not count
+            }
+        }
+    }
+    never as f64 / samples as f64
+}
+
+impl SimRankMethod for Sling {
+    fn name(&self) -> String {
+        format!("SLING(εa={})", self.eps_index)
+    }
+
+    fn is_indexed(&self) -> bool {
+        true
+    }
+
+    fn preprocess(&mut self, g: &CsrGraph) {
+        let n = g.num_nodes();
+        let sqrt_c = self.c.sqrt();
+        let max_level = self.max_level();
+
+        let mut by_source: Vec<Vec<(u8, NodeId, f64)>> = vec![Vec::new(); n];
+        let mut by_meeting: FxHashMap<(NodeId, u8), Vec<(NodeId, f64)>> = FxHashMap::default();
+
+        // Threshold reverse push from every node w.
+        for w in 0..n as NodeId {
+            let mut cur: FxHashMap<NodeId, f64> = FxHashMap::default();
+            cur.insert(w, 1.0);
+            for level in 1..=max_level {
+                let mut next: FxHashMap<NodeId, f64> = FxHashMap::default();
+                for (&x, &p) in &cur {
+                    for &v in g.out_neighbors(x) {
+                        *next.entry(v).or_insert(0.0) += sqrt_c * p / g.in_degree(v) as f64;
+                    }
+                }
+                next.retain(|_, p| *p >= self.eps_index);
+                if next.is_empty() {
+                    break;
+                }
+                let mut entries: Vec<(NodeId, f64)> =
+                    next.iter().map(|(&v, &p)| (v, p)).collect();
+                entries.sort_unstable_by_key(|&(v, _)| v);
+                for &(v, p) in &entries {
+                    by_source[v as usize].push((level as u8, w, p));
+                }
+                by_meeting.insert((w, level as u8), entries);
+                cur = next;
+            }
+        }
+
+        // η(w) by paired-walk sampling.
+        let mut state = self.seed;
+        let mut rng = SmallRng::seed_from_u64(splitmix64(&mut state));
+        let eta: Vec<f64> = (0..n as NodeId)
+            .map(|w| eta_by_sampling(g, w, sqrt_c, self.eta_samples, &mut rng))
+            .collect();
+
+        let bytes = by_source
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<(u8, NodeId, f64)>())
+            .sum::<usize>()
+            + by_meeting
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<(NodeId, f64)>() + 24)
+                .sum::<usize>()
+            + eta.capacity() * 8;
+
+        self.index = Some(SlingIndex {
+            by_source,
+            by_meeting,
+            eta,
+            bytes,
+        });
+    }
+
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+        let idx = self
+            .index
+            .as_ref()
+            .expect("SLING requires preprocess() before query()");
+        let n = g.num_nodes();
+        let mut scores = vec![0.0; n];
+        for &(level, w, h_uw) in &idx.by_source[u as usize] {
+            let eta_w = idx.eta[w as usize];
+            if eta_w == 0.0 {
+                continue;
+            }
+            if let Some(list) = idx.by_meeting.get(&(w, level)) {
+                let scale = h_uw * eta_w;
+                for &(v, h_vw) in list {
+                    scores[v as usize] += scale * h_vw;
+                }
+            }
+        }
+        scores[u as usize] = 1.0;
+        scores
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, |i| i.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_method;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn matches_power_method_on_small_graphs() {
+        let g = shapes::jeh_widom();
+        let exact = power_method(&g, 0.6, 1e-12, 100);
+        let mut sling = Sling::new(0.005, 3000, 1);
+        sling.preprocess(&g);
+        for u in 0..5 as NodeId {
+            let scores = sling.query(&g, u);
+            for v in 0..5 as NodeId {
+                let diff = (scores[v as usize] - exact.get(u, v)).abs();
+                assert!(
+                    diff < 0.05,
+                    "u={u} v={v}: sling {} exact {}",
+                    scores[v as usize],
+                    exact.get(u, v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eta_is_one_at_source_parents() {
+        // shared_parents: walks from c die immediately → η(c) = 1.
+        let g = shapes::shared_parents();
+        let mut sling = Sling::new(0.01, 500, 2);
+        sling.preprocess(&g);
+        let idx = sling.index.as_ref().unwrap();
+        assert_eq!(idx.eta[2], 1.0);
+        assert_eq!(idx.eta[3], 1.0);
+    }
+
+    #[test]
+    fn hand_value_via_index_join() {
+        let g = shapes::shared_parents();
+        let mut sling = Sling::new(0.01, 4000, 3);
+        sling.preprocess(&g);
+        let scores = sling.query(&g, 0);
+        assert!((scores[1] - 0.3).abs() < 0.02, "s̃(a,b) = {}", scores[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "preprocess")]
+    fn query_without_index_panics() {
+        let g = shapes::path(3);
+        Sling::new(0.01, 10, 0).query(&g, 0);
+    }
+
+    #[test]
+    fn index_grows_as_threshold_shrinks() {
+        let g = simrank_graph::gen::gnm(200, 1200, 5);
+        let mut coarse = Sling::new(0.1, 10, 1);
+        coarse.preprocess(&g);
+        let mut fine = Sling::new(0.01, 10, 1);
+        fine.preprocess(&g);
+        assert!(fine.index_bytes() > coarse.index_bytes());
+        assert!(coarse.index_bytes() > 0);
+        assert!(coarse.is_indexed());
+    }
+}

@@ -1,0 +1,179 @@
+//! TopSim (Lee et al., ICDE 2012) — index-free truncated expansion
+//! (paper §2.2).
+//!
+//! TopSim expands the query's reverse-walk probability tree to a fixed
+//! depth `T` with three pruning knobs (the paper's parameter grid): a trim
+//! threshold `η` on path probabilities, a per-level expansion cap `H`, and a
+//! high-degree cut `d_I > 1/h` (branches through high-in-degree nodes carry
+//! `1/d` mass each and are dropped wholesale). Scores are assembled by
+//! pushing the truncated hitting probabilities back along out-edges
+//! **without any last-meeting correction** — the truncation/overcount bias
+//! the paper (after [21]) notes makes TopSim's quality guarantee
+//! problematic; both biases are visible in our accuracy plots.
+
+use crate::api::SimRankMethod;
+use simrank_common::{FxHashMap, NodeId};
+use simrank_graph::{CsrGraph, GraphView};
+
+/// The TopSim method (deterministic: no RNG).
+pub struct TopSim {
+    /// Expansion depth `T`.
+    pub depth: usize,
+    /// High-degree prune: skip expanding nodes with `d_I >` this (`1/h`).
+    pub degree_threshold: usize,
+    /// Trim threshold `η` on path probabilities.
+    pub trim: f64,
+    /// Per-level expansion cap `H` (keep the `H` highest-probability nodes).
+    pub expand_cap: usize,
+    /// Decay factor.
+    pub c: f64,
+}
+
+impl TopSim {
+    /// The paper's default auxiliary settings (`H = 100`, `η = 0.001`).
+    pub fn new(depth: usize, degree_threshold: usize) -> Self {
+        Self {
+            depth,
+            degree_threshold,
+            trim: 0.001,
+            expand_cap: 100,
+            c: 0.6,
+        }
+    }
+}
+
+impl SimRankMethod for TopSim {
+    fn name(&self) -> String {
+        format!("TopSim(T={},1/h={})", self.depth, self.degree_threshold)
+    }
+
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+        let n = g.num_nodes();
+        let sqrt_c = self.c.sqrt();
+
+        // Forward pass: truncated hitting probabilities h^(ℓ)(u, ·).
+        let mut levels: Vec<FxHashMap<NodeId, f64>> = Vec::with_capacity(self.depth + 1);
+        let mut cur: FxHashMap<NodeId, f64> = FxHashMap::default();
+        cur.insert(u, 1.0);
+        levels.push(cur.clone());
+        for _ in 1..=self.depth {
+            // Cap the expansion frontier at the H most probable entries.
+            let mut frontier: Vec<(NodeId, f64)> = cur.iter().map(|(&v, &p)| (v, p)).collect();
+            if frontier.len() > self.expand_cap {
+                frontier.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                frontier.truncate(self.expand_cap);
+            }
+            let mut next: FxHashMap<NodeId, f64> = FxHashMap::default();
+            for &(v, p) in &frontier {
+                if p < self.trim {
+                    continue;
+                }
+                let ins = g.in_neighbors(v);
+                if ins.is_empty() || ins.len() > self.degree_threshold {
+                    continue; // dead end or high-degree cut
+                }
+                let inc = sqrt_c * p / ins.len() as f64;
+                for &vp in ins {
+                    *next.entry(vp).or_insert(0.0) += inc;
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            levels.push(next.clone());
+            cur = next;
+        }
+
+        // Reverse pass: push each level's mass back down along out-edges,
+        // merging levels like SimPush's Reverse-Push but with γ ≡ 1 (no
+        // last-meeting correction — TopSim's documented overcount).
+        let max_level = levels.len() - 1;
+        let mut scores = vec![0.0; n];
+        if max_level >= 1 {
+            let mut residues: Vec<FxHashMap<NodeId, f64>> = levels;
+            for level in (1..=max_level).rev() {
+                let current = std::mem::take(&mut residues[level]);
+                for (&vp, &p) in &current {
+                    if p < self.trim {
+                        continue;
+                    }
+                    let pushed = sqrt_c * p;
+                    for &v in g.out_neighbors(vp) {
+                        let inc = pushed / g.in_degree(v) as f64;
+                        if level > 1 {
+                            *residues[level - 1].entry(v).or_insert(0.0) += inc;
+                        } else {
+                            scores[v as usize] += inc;
+                        }
+                    }
+                }
+            }
+        }
+        scores[u as usize] = 1.0;
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_method;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn single_meeting_graphs_are_exact() {
+        // shared_parents has exactly one meeting opportunity — no overcount,
+        // no truncation: TopSim should be exact here.
+        let g = shapes::shared_parents();
+        let mut ts = TopSim::new(3, 1000);
+        let scores = ts.query(&g, 0);
+        assert!((scores[1] - 0.3).abs() < 1e-12, "s̃(a,b) = {}", scores[1]);
+    }
+
+    #[test]
+    fn overcounts_repeat_meetings() {
+        let g = shapes::layered_dag(3, 2);
+        let exact = power_method(&g, 0.6, 1e-12, 100);
+        let mut ts = TopSim::new(4, 10_000);
+        let scores = ts.query(&g, 4);
+        assert!(
+            scores[5] > exact.get(4, 5) + 0.02,
+            "topsim {} should overestimate exact {}",
+            scores[5],
+            exact.get(4, 5)
+        );
+    }
+
+    #[test]
+    fn depth_truncation_loses_mass() {
+        // jeh_widom similarities need ≥ 2 levels; T = 1 must underestimate
+        // s(StudentA, StudentB).
+        let g = shapes::jeh_widom();
+        let exact = power_method(&g, 0.6, 1e-12, 100);
+        let mut shallow = TopSim::new(1, 10_000);
+        let s1 = shallow.query(&g, 3);
+        let mut deep = TopSim::new(8, 10_000);
+        let s8 = deep.query(&g, 3);
+        assert!(s1[4] < exact.get(3, 4) - 0.01, "shallow {} exact {}", s1[4], exact.get(3, 4));
+        assert!(s8[4] >= s1[4]);
+    }
+
+    #[test]
+    fn degree_cut_drops_hub_paths() {
+        // star_in(12) query at a leaf: the walk passes the centre… leaves'
+        // in-neighbourhood is empty; query from centre 0 instead: its
+        // in-neighbours are 11 leaves > threshold 5 → everything pruned.
+        let g = shapes::star_in(12);
+        let mut ts = TopSim::new(3, 5);
+        let scores = ts.query(&g, 0);
+        assert!(scores.iter().enumerate().all(|(v, &s)| v == 0 || s == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = simrank_graph::gen::gnm(100, 500, 2);
+        let mut ts = TopSim::new(3, 100);
+        assert_eq!(ts.query(&g, 5), ts.query(&g, 5));
+        assert!(!ts.is_indexed());
+    }
+}

@@ -1,0 +1,241 @@
+//! TSF (Shao et al., PVLDB 2015) — one-way-graph index (paper §2.2).
+//!
+//! Preprocessing samples `Rg` *one-way graphs*: in each, every node keeps a
+//! single sampled in-neighbour, so every node's walk becomes a deterministic
+//! parent chain. A query samples `Rq` fresh reverse walks from `u` per
+//! one-way graph; if `u`'s walk sits at `w` after `ℓ` steps, every node
+//! whose chain also sits at `w` after `ℓ` steps (= the depth-`ℓ` descendants
+//! of `w` in the reversed one-way forest) receives weight `c^ℓ`.
+//!
+//! The paper (after [33]) criticises TSF for (i) counting **all** meetings,
+//! not first meetings — an overestimate — and (ii) assuming walks are
+//! acyclic. Both behaviours are reproduced faithfully here and visible in
+//! the accuracy plots.
+
+use crate::api::SimRankMethod;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::seeds::splitmix64;
+use simrank_common::NodeId;
+use simrank_graph::{CsrGraph, GraphView};
+
+/// Sentinel for "no sampled in-neighbour" (source nodes).
+const NO_PARENT: NodeId = NodeId::MAX;
+
+/// The TSF method.
+pub struct Tsf {
+    /// Number of one-way graphs stored in the index (`Rg`).
+    pub rg: usize,
+    /// Reuses of each one-way graph at query time (`Rq`).
+    pub rq: usize,
+    /// Walk depth cap (`t`; the original uses a small constant — 10).
+    pub t: usize,
+    /// Decay factor.
+    pub c: f64,
+    /// Master seed.
+    pub seed: u64,
+    index: Option<TsfIndex>,
+}
+
+struct OneWayGraph {
+    /// The sampled in-neighbour per node — the one-way graph proper. Queries
+    /// only traverse the derived `children` view, but the parent array is
+    /// retained (and counted in `index_bytes`) because it is what the
+    /// original system stores and updates.
+    #[allow(dead_code)]
+    parent: Vec<NodeId>,
+    /// Reverse adjacency of the parent forest: `children[w]` = nodes whose
+    /// sampled in-neighbour is `w`.
+    children: Vec<Vec<NodeId>>,
+}
+
+struct TsfIndex {
+    graphs: Vec<OneWayGraph>,
+    bytes: usize,
+}
+
+impl Tsf {
+    /// Standard configuration (`c = 0.6`, depth 10 as in the original).
+    pub fn new(rg: usize, rq: usize, seed: u64) -> Self {
+        assert!(rg >= 1 && rq >= 1, "need at least one one-way graph and one reuse");
+        Self {
+            rg,
+            rq,
+            t: 10,
+            c: 0.6,
+            seed,
+            index: None,
+        }
+    }
+
+    /// Collects the depth-`depth` descendants of `root` in the reversed
+    /// one-way forest (nodes whose chain reaches `root` in exactly `depth`
+    /// steps), appending them to `out`.
+    fn descendants_at_depth(owg: &OneWayGraph, root: NodeId, depth: usize, out: &mut Vec<NodeId>) {
+        // Iterative frontier expansion; fronts are small in practice because
+        // each node has exactly one parent (forest, not general graph).
+        let mut frontier = vec![root];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for &x in &frontier {
+                next.extend_from_slice(&owg.children[x as usize]);
+            }
+            if next.is_empty() {
+                return;
+            }
+            frontier = next;
+        }
+        out.extend_from_slice(&frontier);
+    }
+}
+
+impl SimRankMethod for Tsf {
+    fn name(&self) -> String {
+        format!("TSF(Rg={},Rq={})", self.rg, self.rq)
+    }
+
+    fn is_indexed(&self) -> bool {
+        true
+    }
+
+    fn preprocess(&mut self, g: &CsrGraph) {
+        let n = g.num_nodes();
+        let mut state = self.seed;
+        let mut rng = SmallRng::seed_from_u64(splitmix64(&mut state));
+        let mut graphs = Vec::with_capacity(self.rg);
+        let mut bytes = 0usize;
+        for _ in 0..self.rg {
+            let mut parent = vec![NO_PARENT; n];
+            let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+            for v in 0..n as NodeId {
+                let ins = g.in_neighbors(v);
+                if !ins.is_empty() {
+                    let p = ins[rng.gen_range(0..ins.len())];
+                    parent[v as usize] = p;
+                    children[p as usize].push(v);
+                }
+            }
+            bytes += parent.capacity() * std::mem::size_of::<NodeId>()
+                + children
+                    .iter()
+                    .map(|c| c.capacity() * std::mem::size_of::<NodeId>() + 24)
+                    .sum::<usize>();
+            graphs.push(OneWayGraph { parent, children });
+        }
+        self.index = Some(TsfIndex { graphs, bytes });
+    }
+
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+        let idx = self
+            .index
+            .as_ref()
+            .expect("TSF requires preprocess() before query()");
+        let n = g.num_nodes();
+        let mut state = self.seed ^ ((u as u64) << 13);
+        let mut rng = SmallRng::seed_from_u64(splitmix64(&mut state));
+        let mut scores = vec![0.0; n];
+        let norm = 1.0 / (self.rg * self.rq) as f64;
+        let mut meet_buf: Vec<NodeId> = Vec::new();
+
+        for owg in &idx.graphs {
+            for _ in 0..self.rq {
+                // Fresh uniform reverse walk of depth ≤ t from u (TSF uses
+                // plain walks with explicit c^ℓ weights).
+                let mut cur = u;
+                for ell in 1..=self.t {
+                    let ins = g.in_neighbors(cur);
+                    if ins.is_empty() {
+                        break;
+                    }
+                    cur = ins[rng.gen_range(0..ins.len())];
+                    meet_buf.clear();
+                    Self::descendants_at_depth(owg, cur, ell, &mut meet_buf);
+                    if meet_buf.is_empty() {
+                        continue;
+                    }
+                    let w = norm * self.c.powi(ell as i32);
+                    for &v in &meet_buf {
+                        if v != u {
+                            scores[v as usize] += w; // all meetings count (over-estimate)
+                        }
+                    }
+                }
+            }
+        }
+        scores[u as usize] = 1.0;
+        scores
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.index.as_ref().map_or(0, |i| i.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::power_method;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn estimates_are_in_the_right_ballpark() {
+        let g = shapes::shared_parents();
+        let mut tsf = Tsf::new(200, 20, 1);
+        tsf.preprocess(&g);
+        let scores = tsf.query(&g, 0);
+        // Exact s(a,b) = 0.3; TSF overestimates but meetings here can only
+        // happen at step 1, so it should be close.
+        assert!(
+            (scores[1] - 0.3).abs() < 0.05,
+            "s̃(a,b) = {} (exact 0.3)",
+            scores[1]
+        );
+    }
+
+    #[test]
+    fn overestimates_on_graphs_with_repeat_meetings() {
+        // layered complete DAG: after meeting at layer 1, walks meet again
+        // at layer 0 with positive probability → TSF double counts.
+        let g = shapes::layered_dag(3, 2);
+        let exact = power_method(&g, 0.6, 1e-12, 100);
+        let mut tsf = Tsf::new(400, 20, 2);
+        tsf.preprocess(&g);
+        let scores = tsf.query(&g, 4);
+        assert!(
+            scores[5] > exact.get(4, 5) + 0.02,
+            "tsf {} should overestimate exact {}",
+            scores[5],
+            exact.get(4, 5)
+        );
+    }
+
+    #[test]
+    fn descendants_at_depth_walks_the_forest() {
+        let g = shapes::cycle(4); // each node's only in-neighbour: prev node
+        let mut tsf = Tsf::new(1, 1, 3);
+        tsf.preprocess(&g);
+        let owg = &tsf.index.as_ref().unwrap().graphs[0];
+        let mut out = Vec::new();
+        // On a cycle the one-way graph is the cycle itself: the depth-2
+        // descendant of node 0 is node 2.
+        Tsf::descendants_at_depth(owg, 0, 2, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "preprocess")]
+    fn query_without_index_panics() {
+        let g = shapes::path(3);
+        Tsf::new(2, 2, 0).query(&g, 0);
+    }
+
+    #[test]
+    fn index_bytes_scale_with_rg() {
+        let g = simrank_graph::gen::gnm(300, 1500, 9);
+        let mut a = Tsf::new(5, 2, 1);
+        a.preprocess(&g);
+        let mut b = Tsf::new(20, 2, 1);
+        b.preprocess(&g);
+        assert!(b.index_bytes() > 3 * a.index_bytes());
+    }
+}

@@ -1,0 +1,44 @@
+//! Query latency of every method on the same graph at its mid-grid setting
+//! — the micro view of Figure 4's x-axis (indexes built outside the timed
+//! region).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simrank_eval::methods::{method_grid, MethodFamily};
+use std::hint::black_box;
+
+fn bench_all_methods(c: &mut Criterion) {
+    let g = simrank_graph::gen::copying_web(20_000, 6, 0.7, 11);
+    let mut group = c.benchmark_group("baseline_query");
+    group.sample_size(10);
+    for family in MethodFamily::all() {
+        // Grid point 1: second-cheapest — representative without blowing the
+        // bench budget on ProbeSim's accurate settings.
+        let setting = &method_grid(family)[1];
+        let mut method = setting.instantiate(5);
+        method.preprocess(&g);
+        group.bench_function(family.display(), |b| {
+            b.iter(|| black_box(method.query(&g, 9_999)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_builds(c: &mut Criterion) {
+    let g = simrank_graph::gen::copying_web(8_000, 5, 0.7, 13);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for family in [MethodFamily::Reads, MethodFamily::Tsf] {
+        let setting = method_grid(family)[1].clone();
+        group.bench_function(family.display(), |b| {
+            b.iter(|| {
+                let mut m = setting.instantiate(5);
+                m.preprocess(&g);
+                black_box(m.index_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_methods, bench_index_builds);
+criterion_main!(benches);

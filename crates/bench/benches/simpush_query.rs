@@ -1,0 +1,82 @@
+//! SimPush end-to-end query latency: across error budgets (the paper's
+//! ε grid) and across graph families, plus the level-detection ablation
+//! (Monte-Carlo vs exact) and the MC budget ablation (Chernoff vs the
+//! paper's stated Hoeffding count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simpush::{Config, LevelDetection, McBudget, SimPush};
+use simrank_graph::gen;
+use std::hint::black_box;
+
+fn graph() -> simrank_graph::CsrGraph {
+    gen::copying_web(50_000, 8, 0.75, 7)
+}
+
+fn bench_epsilon_grid(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("simpush_query/epsilon");
+    group.sample_size(10);
+    for eps in [0.05, 0.02, 0.01, 0.005] {
+        let engine = SimPush::new(Config::new(eps));
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, _| {
+            b.iter(|| black_box(engine.query(&g, 31_337)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_families(c: &mut Criterion) {
+    let graphs = [
+        ("web", gen::copying_web(40_000, 8, 0.75, 1)),
+        ("social", gen::rmat(15, 320_000, gen::RmatParams::social(), 2)),
+        (
+            "collab",
+            gen::chung_lu_undirected(40_000, 160_000, 2.5, 3),
+        ),
+    ];
+    let engine = SimPush::new(Config::new(0.02));
+    let mut group = c.benchmark_group("simpush_query/family");
+    group.sample_size(10);
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), g, |b, g| {
+            b.iter(|| black_box(engine.query(g, 1_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_ablation(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("simpush_query/detection");
+    group.sample_size(10);
+    let configs = [
+        ("mc_chernoff", Config::new(0.02)),
+        (
+            "mc_hoeffding",
+            Config {
+                mc_budget: McBudget::Hoeffding,
+                ..Config::new(0.02)
+            },
+        ),
+        (
+            "exact",
+            Config {
+                level_detection: LevelDetection::Exact,
+                ..Config::new(0.02)
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        let engine = SimPush::new(cfg);
+        group.bench_function(name, |b| b.iter(|| black_box(engine.query(&g, 31_337))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_epsilon_grid,
+    bench_graph_families,
+    bench_detection_ablation
+);
+criterion_main!(benches);

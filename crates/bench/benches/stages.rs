@@ -1,0 +1,45 @@
+//! Per-stage micro-benchmarks of the SimPush pipeline (Table 3's
+//! micro view): Source-Push, hitting-in-Gu + γ, Reverse-Push.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simpush::config::Config;
+use simpush::gamma::compute_gammas;
+use simpush::hitting::{attention_hitting, AttentionIndex};
+use simpush::reverse_push::reverse_push;
+use simpush::source_push::source_push;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let g = simrank_graph::gen::copying_web(50_000, 8, 0.75, 7);
+    let cfg = Config::new(0.01);
+    let u = 31_337;
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+
+    group.bench_function("1_source_push", |b| {
+        b.iter(|| black_box(source_push(&g, u, &cfg)))
+    });
+
+    // Prepared inputs for the later stages (outside the timed region).
+    let gu = source_push(&g, u, &cfg).gu;
+    let att = AttentionIndex::build(&gu);
+
+    group.bench_function("2_hitting_and_gamma", |b| {
+        b.iter(|| {
+            let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+            black_box(compute_gammas(&att, &hit, gu.max_level()))
+        })
+    });
+
+    let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+    let gammas = compute_gammas(&att, &hit, gu.max_level());
+    group.bench_function("3_reverse_push", |b| {
+        b.iter(|| black_box(reverse_push(&g, &gu, &att, &gammas, &cfg)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Substrate micro-benchmarks: CSR construction/transpose, binary IO, the
+//! HybridMap threshold ablation (the DESIGN.md design-choice callout), and
+//! alias-table sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::HybridMap;
+use simrank_graph::gen::AliasTable;
+use std::hint::black_box;
+
+fn bench_csr(c: &mut Criterion) {
+    let g = simrank_graph::gen::gnm(50_000, 500_000, 3);
+    let mut edges: Vec<(u32, u32)> = g.edges().collect();
+    edges.sort_unstable();
+    let mut group = c.benchmark_group("csr");
+    group.sample_size(10);
+    group.bench_function("build_500k", |b| {
+        b.iter(|| black_box(simrank_graph::CsrGraph::from_sorted_edges(50_000, &edges)))
+    });
+    group.bench_function("transpose_500k", |b| b.iter(|| black_box(g.transpose())));
+    group.bench_function("binary_roundtrip_500k", |b| {
+        b.iter(|| {
+            let bytes = simrank_graph::io::to_binary(&g);
+            black_box(simrank_graph::io::from_binary(bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// The HybridMap ablation: accumulate a push-like workload into (a) a map
+/// pinned sparse, (b) a map pinned dense, (c) the adaptive hybrid — at two
+/// frontier densities. The hybrid should track the better of the two.
+fn bench_hybrid_threshold(c: &mut Criterion) {
+    const UNIVERSE: usize = 1 << 20;
+    let sparse_keys: Vec<u32> = {
+        let mut rng = SmallRng::seed_from_u64(1);
+        (0..2_000).map(|_| rng.gen_range(0..UNIVERSE as u32)).collect()
+    };
+    let dense_keys: Vec<u32> = {
+        let mut rng = SmallRng::seed_from_u64(2);
+        (0..400_000).map(|_| rng.gen_range(0..UNIVERSE as u32)).collect()
+    };
+
+    let mut group = c.benchmark_group("hybrid_threshold");
+    group.sample_size(10);
+    for (density, keys) in [("sparse2k", &sparse_keys), ("dense400k", &dense_keys)] {
+        for (mode, threshold) in [
+            ("pin_sparse", UNIVERSE), // never migrate
+            ("pin_dense", 0),         // migrate immediately
+            ("hybrid", UNIVERSE / simrank_common::hybrid::DENSE_DIVISOR),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(mode, density),
+                keys,
+                |b, keys| {
+                    b.iter(|| {
+                        let mut m = HybridMap::with_threshold(UNIVERSE, threshold);
+                        for &k in keys.iter() {
+                            m.add(k, 0.5);
+                        }
+                        black_box(m.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=100_000).map(|i| 1.0 / i as f64).collect();
+    let table = AliasTable::new(&weights);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("alias");
+    group.bench_function("sample", |b| b.iter(|| black_box(table.sample(&mut rng))));
+    group.sample_size(10);
+    group.bench_function("build_100k", |b| {
+        b.iter(|| black_box(AliasTable::new(&weights)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr, bench_hybrid_threshold, bench_alias);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! √c-walk engine micro-benchmarks: single-walk sampling, level-visit
+//! counting (SimPush stage-1 sampling), pairwise Monte-Carlo (ground-truth
+//! cost driver).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simrank_walks::{pairwise_simrank_mc, sample_walk, LevelVisits, WalkParams};
+use std::hint::black_box;
+
+fn bench_walks(c: &mut Criterion) {
+    let g = simrank_graph::gen::rmat(15, 320_000, simrank_graph::gen::RmatParams::social(), 3);
+    let params = WalkParams::new(0.6);
+    let mut group = c.benchmark_group("walks");
+    group.sample_size(20);
+
+    group.bench_function("single_walk", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(sample_walk(&g, 12_345, params, 64, &mut rng)))
+    });
+
+    group.bench_function("level_visits_10k", |b| {
+        b.iter(|| black_box(LevelVisits::sample(&g, 12_345, params, 10_000, 24, 7)))
+    });
+
+    group.bench_function("pairwise_mc_10k", |b| {
+        b.iter(|| black_box(pairwise_simrank_mc(&g, 100, 200, params, 10_000, 9)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

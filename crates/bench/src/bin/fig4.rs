@@ -1,0 +1,80 @@
+//! Figure 4: AvgError@50 vs query time, per dataset, per method, per
+//! setting (5 points per method = the paper's trade-off curves).
+//!
+//! ```sh
+//! cargo run -p simrank-bench --release --bin fig4
+//! ```
+
+fn main() {
+    let results = simrank_bench::run_figures_experiment();
+    println!("\n=== Figure 4: AvgError@50 (x) vs query time in seconds (y) ===");
+    for (dataset, rows) in simrank_bench::by_dataset(&results) {
+        println!("\n--- {dataset} ---");
+        println!(
+            "{:<24} {:>12} {:>12}  {}",
+            "method", "AvgErr@50", "query(s)", "note"
+        );
+        for r in &rows {
+            println!(
+                "{:<24} {:>12.6} {:>12.6}  {}",
+                r.label,
+                r.avg_error,
+                r.avg_query_secs,
+                r.excluded.clone().unwrap_or_default()
+            );
+        }
+        // The paper's headline comparison: SimPush vs the best index-free
+        // and the best index-based competitor at comparable accuracy.
+        summarize(&rows);
+    }
+    println!(
+        "\nCSV: {}",
+        simrank_bench::results_dir().display()
+    );
+}
+
+/// Prints the per-dataset headline: for the most accurate SimPush setting,
+/// how much faster is it than each competitor's setting of comparable (or
+/// worse) error?
+fn summarize(rows: &[&simrank_eval::runner::MethodResult]) {
+    let Some(best_sp) = rows
+        .iter()
+        .filter(|r| r.family == "SimPush" && r.excluded.is_none())
+        .min_by(|a, b| a.avg_error.partial_cmp(&b.avg_error).unwrap())
+    else {
+        return;
+    };
+    println!(
+        "  headline: SimPush @ err={:.6} in {:.4}s;",
+        best_sp.avg_error, best_sp.avg_query_secs
+    );
+    for family in ["ProbeSim", "PRSim", "SLING", "READS", "TSF", "TopSim"] {
+        // Cheapest competitor setting that reaches (or beats) that error,
+        // else its most accurate one.
+        let candidates: Vec<_> = rows
+            .iter()
+            .filter(|r| r.family == family && r.excluded.is_none() && r.queries_run > 0)
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let comparable = candidates
+            .iter()
+            .filter(|r| r.avg_error <= best_sp.avg_error * 1.5 + 1e-6)
+            .min_by(|a, b| a.avg_query_secs.partial_cmp(&b.avg_query_secs).unwrap())
+            .or_else(|| {
+                candidates
+                    .iter()
+                    .min_by(|a, b| a.avg_error.partial_cmp(&b.avg_error).unwrap())
+            });
+        if let Some(c) = comparable {
+            println!(
+                "    vs {:<9} err={:.6} in {:.4}s → SimPush {:.1}× faster",
+                family,
+                c.avg_error,
+                c.avg_query_secs,
+                c.avg_query_secs / best_sp.avg_query_secs.max(1e-9)
+            );
+        }
+    }
+}

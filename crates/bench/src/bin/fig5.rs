@@ -1,0 +1,41 @@
+//! Figure 5: Precision@50 vs query time (same experiment as Figure 4,
+//! precision view).
+//!
+//! ```sh
+//! cargo run -p simrank-bench --release --bin fig5
+//! ```
+
+fn main() {
+    let results = simrank_bench::run_figures_experiment();
+    println!("\n=== Figure 5: Precision@50 (x) vs query time in seconds (y) ===");
+    for (dataset, rows) in simrank_bench::by_dataset(&results) {
+        println!("\n--- {dataset} ---");
+        println!(
+            "{:<24} {:>10} {:>12}  {}",
+            "method", "Prec@50", "query(s)", "note"
+        );
+        for r in &rows {
+            println!(
+                "{:<24} {:>10.3} {:>12.6}  {}",
+                r.label,
+                r.precision,
+                r.avg_query_secs,
+                r.excluded.clone().unwrap_or_default()
+            );
+        }
+        // Headline: time each family needs to reach 0.9 precision.
+        println!("  time to reach Precision@50 ≥ 0.90:");
+        for family in ["SimPush", "ProbeSim", "PRSim", "SLING", "READS", "TSF", "TopSim"] {
+            let t = rows
+                .iter()
+                .filter(|r| r.family == family && r.excluded.is_none() && r.precision >= 0.90)
+                .map(|r| r.avg_query_secs)
+                .fold(f64::INFINITY, f64::min);
+            if t.is_finite() {
+                println!("    {family:<9} {t:.4}s");
+            } else {
+                println!("    {family:<9} (never reached)");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 6: AvgError@50 vs peak memory (same experiment, memory view).
+//!
+//! Memory is reported two ways: *logical bytes* (graph + index, exact
+//! per-method accounting — the comparable signal inside one process) and
+//! the process peak RSS observed after the setting ran (the paper's
+//! `ru_maxrss` signal, which on a shared process is a high-water mark over
+//! everything that ran before).
+//!
+//! ```sh
+//! cargo run -p simrank-bench --release --bin fig6
+//! ```
+
+use simrank_common::mem::format_bytes;
+
+fn main() {
+    let results = simrank_bench::run_figures_experiment();
+    println!("\n=== Figure 6: AvgError@50 (x) vs memory (y) ===");
+    for (dataset, rows) in simrank_bench::by_dataset(&results) {
+        println!("\n--- {dataset} ---");
+        println!(
+            "{:<24} {:>12} {:>12} {:>12} {:>12}",
+            "method", "AvgErr@50", "graph", "index", "graph+index"
+        );
+        for r in &rows {
+            println!(
+                "{:<24} {:>12.6} {:>12} {:>12} {:>12}",
+                r.label,
+                r.avg_error,
+                format_bytes(r.graph_bytes as u64),
+                format_bytes(r.index_bytes as u64),
+                format_bytes((r.graph_bytes + r.index_bytes) as u64),
+            );
+        }
+        // Headline: index blow-up factors relative to the graph.
+        println!("  index size / graph size (max over settings):");
+        for family in ["SimPush", "ProbeSim", "TopSim", "PRSim", "SLING", "READS", "TSF"] {
+            let factor = rows
+                .iter()
+                .filter(|r| r.family == family)
+                .map(|r| r.index_bytes as f64 / r.graph_bytes.max(1) as f64)
+                .fold(0.0f64, f64::max);
+            println!("    {family:<9} {factor:.2}×");
+        }
+    }
+    println!(
+        "\nNote: SimPush/ProbeSim/TopSim are index-free (0 index bytes) — their\n\
+         memory is the graph plus transient per-query state, which is why the\n\
+         paper's Figure 6 shows them flat and lowest."
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 7: the billion-node ClueWeb experiment — only SimPush, PRSim and
+//! ProbeSim fit in memory on the paper's server; the same trio runs on our
+//! largest stand-in (`clueweb-sim`).
+//!
+//! Prints all three panels: (a) error vs time, (b) precision vs time,
+//! (c) error vs memory.
+//!
+//! ```sh
+//! cargo run -p simrank-bench --release --bin fig7
+//! ```
+
+use simrank_common::mem::format_bytes;
+use simrank_eval::runner::{run_dataset, ExperimentConfig};
+use simrank_eval::{datasets, report};
+
+fn main() {
+    let spec = datasets::registry()
+        .into_iter()
+        .find(|d| d.name == "clueweb-sim")
+        .expect("registry contains clueweb-sim");
+    eprintln!("[fig7] dataset {} ({})…", spec.name, spec.paper_name);
+    let g = spec.load_or_generate(&datasets::default_data_dir());
+    let settings = simrank_bench::settings_for(&spec);
+    let cfg = ExperimentConfig::from_env();
+    let results = run_dataset(spec.name, &g, &settings, &cfg);
+
+    println!("\n=== Figure 7(a): AvgError@50 vs query time — clueweb-sim ===");
+    println!("{:<24} {:>12} {:>12}", "method", "AvgErr@50", "query(s)");
+    for r in &results {
+        println!(
+            "{:<24} {:>12.6} {:>12.6}",
+            r.label, r.avg_error, r.avg_query_secs
+        );
+    }
+
+    println!("\n=== Figure 7(b): Precision@50 vs query time ===");
+    println!("{:<24} {:>10} {:>12}", "method", "Prec@50", "query(s)");
+    for r in &results {
+        println!(
+            "{:<24} {:>10.3} {:>12.6}",
+            r.label, r.precision, r.avg_query_secs
+        );
+    }
+
+    println!("\n=== Figure 7(c): AvgError@50 vs memory ===");
+    println!(
+        "{:<24} {:>12} {:>14} {:>12}",
+        "method", "AvgErr@50", "graph+index", "pre(s)"
+    );
+    for r in &results {
+        println!(
+            "{:<24} {:>12.6} {:>14} {:>12.3}",
+            r.label,
+            r.avg_error,
+            format_bytes((r.graph_bytes + r.index_bytes) as u64),
+            r.preprocess_secs
+        );
+    }
+
+    report::write_csv(&results, &simrank_bench::results_dir().join("fig7.csv"));
+}

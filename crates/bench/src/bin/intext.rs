@@ -1,0 +1,55 @@
+//! In-text §5.2 structural claims: the max level `L` is small on real
+//! graphs (paper: average 2.76 on Twitter, 9.0 on DBLP at ε = 0.02) and the
+//! number of attention nodes stays in the dozens–hundreds.
+//!
+//! ```sh
+//! cargo run -p simrank-bench --release --bin intext
+//! ```
+
+use simpush::{Config, SimPush};
+use simrank_eval::datasets;
+
+fn main() {
+    let cfg_env = simrank_eval::runner::ExperimentConfig::from_env();
+    let q = cfg_env.num_queries.max(5);
+    let data_dir = datasets::default_data_dir();
+    let eps = 0.02;
+    let engine = SimPush::new(Config::new(eps));
+
+    println!("=== §5.2 in-text: SimPush structure at ε = {eps} (avg over {q} queries) ===");
+    println!(
+        "{:<16} {:>7} {:>7} {:>8} {:>10} {:>12}",
+        "dataset", "avg L", "L*", "|Au|", "|Gu|", "det. walks"
+    );
+    for spec in datasets::registry() {
+        let g = spec.load_or_generate(&data_dir);
+        let queries = datasets::query_nodes(&g, q, 0xBEE5);
+        let mut level = 0usize;
+        let mut att = 0usize;
+        let mut gu = 0usize;
+        let mut walks = 0usize;
+        let mut l_star = 0usize;
+        for &u in &queries {
+            let r = engine.query(&g, u);
+            level += r.stats.level;
+            att += r.stats.num_attention;
+            gu += r.stats.gu_total_entries;
+            walks += r.stats.num_walks;
+            l_star = r.stats.l_star;
+        }
+        let qf = queries.len() as f64;
+        println!(
+            "{:<16} {:>7.2} {:>7} {:>8.0} {:>10.0} {:>12.0}",
+            spec.name,
+            level as f64 / qf,
+            l_star,
+            att as f64 / qf,
+            gu as f64 / qf,
+            walks as f64 / qf
+        );
+    }
+    println!(
+        "\nPaper's claims to compare: avg L ≈ 2.76 on Twitter, 9.0 on DBLP; attention\n\
+         nodes \"no more than a few hundred\"; both should hold in shape here."
+    );
+}

@@ -1,0 +1,36 @@
+//! Table 4: dataset statistics — our nine synthetic stand-ins next to the
+//! paper graphs they substitute for.
+//!
+//! ```sh
+//! cargo run -p simrank-bench --release --bin table4
+//! ```
+
+use simrank_eval::datasets;
+use simrank_graph::{GraphStats, GraphView};
+
+fn main() {
+    let data_dir = datasets::default_data_dir();
+    println!(
+        "=== Table 4: datasets (scale factor {}) ===",
+        datasets::env_scale()
+    );
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>9} {:>9} {:>11}  {}",
+        "name", "n", "m", "type", "max d_in", "max d_out", "reciprocity", "stands in for"
+    );
+    for spec in datasets::registry() {
+        let g = spec.load_or_generate(&data_dir);
+        let stats = GraphStats::compute(&g);
+        println!(
+            "{:<16} {:>10} {:>12} {:>10} {:>9} {:>9} {:>11.2}  {}",
+            spec.name,
+            g.num_nodes(),
+            g.num_edges(),
+            if spec.directed { "directed" } else { "undirected" },
+            stats.max_in_degree,
+            stats.max_out_degree,
+            stats.reciprocity,
+            spec.paper_name
+        );
+    }
+}

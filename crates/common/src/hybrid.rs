@@ -1,0 +1,401 @@
+//! [`HybridMap`]: a node→`f64` accumulator that adapts its backing store.
+//!
+//! Residue-push algorithms (SimPush's Source-Push and Reverse-Push, SLING's
+//! index construction, ProbeSim's probe) accumulate floating-point mass into
+//! per-level frontiers. Frontier population varies wildly: a deep level of
+//! the source graph may hold a handful of nodes, while level 1 of a query on
+//! a hub can hold a large fraction of the whole graph. A hash map wins on the
+//! former, a dense array on the latter. `HybridMap` starts sparse and
+//! migrates itself to a dense array (with a touched-list for iteration) once
+//! its population crosses `universe / DENSE_DIVISOR`.
+
+use crate::hash::FxHashMap;
+use crate::NodeId;
+
+/// Population threshold divisor: migrate to dense storage once
+/// `len > universe / DENSE_DIVISOR`.
+///
+/// At 1/8 occupancy a hash map holding `(u32, f64)` entries already spends
+/// roughly as much memory as the dense `f64` array, and loses on access
+/// locality, so this is the break-even neighbourhood rather than a tuned
+/// constant. Benchmarks in `simrank-bench` (`hybrid_threshold`) sweep it.
+pub const DENSE_DIVISOR: usize = 8;
+
+enum Backend {
+    Sparse(FxHashMap<NodeId, f64>),
+    Dense {
+        values: Vec<f64>,
+        /// Keys with a live entry, in first-touch order. Drives iteration and
+        /// O(touched) clearing.
+        touched: Vec<NodeId>,
+        present: Vec<bool>,
+    },
+}
+
+/// Adaptive node→score accumulator over a fixed universe `0..universe`.
+pub struct HybridMap {
+    universe: usize,
+    dense_at: usize,
+    backend: Backend,
+}
+
+impl HybridMap {
+    /// Creates an empty map over node ids `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        Self::with_threshold(universe, universe / DENSE_DIVISOR)
+    }
+
+    /// Creates an empty map that migrates to dense storage once the
+    /// population exceeds `dense_at` (use `universe` to never migrate, `0` to
+    /// migrate immediately on first insert).
+    pub fn with_threshold(universe: usize, dense_at: usize) -> Self {
+        Self {
+            universe,
+            dense_at,
+            backend: Backend::Sparse(FxHashMap::default()),
+        }
+    }
+
+    /// Number of nodes in the universe.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Whether the map has migrated to the dense backend.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.backend, Backend::Dense { .. })
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Sparse(m) => m.len(),
+            Backend::Dense { touched, .. } => touched.len(),
+        }
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` to the entry for `key`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `key >= universe` (debug and release: the dense backend
+    /// would index out of bounds otherwise, so we check explicitly in the
+    /// sparse path too).
+    #[inline]
+    pub fn add(&mut self, key: NodeId, delta: f64) {
+        assert!(
+            (key as usize) < self.universe,
+            "key {key} outside universe {}",
+            self.universe
+        );
+        match &mut self.backend {
+            Backend::Sparse(m) => {
+                *m.entry(key).or_insert(0.0) += delta;
+                if m.len() > self.dense_at {
+                    self.migrate();
+                }
+            }
+            Backend::Dense {
+                values,
+                touched,
+                present,
+            } => {
+                let i = key as usize;
+                if !present[i] {
+                    present[i] = true;
+                    touched.push(key);
+                    values[i] = delta;
+                } else {
+                    values[i] += delta;
+                }
+            }
+        }
+    }
+
+    /// Overwrites the entry for `key` with `value`.
+    #[inline]
+    pub fn set(&mut self, key: NodeId, value: f64) {
+        assert!(
+            (key as usize) < self.universe,
+            "key {key} outside universe {}",
+            self.universe
+        );
+        match &mut self.backend {
+            Backend::Sparse(m) => {
+                m.insert(key, value);
+                if m.len() > self.dense_at {
+                    self.migrate();
+                }
+            }
+            Backend::Dense {
+                values,
+                touched,
+                present,
+            } => {
+                let i = key as usize;
+                if !present[i] {
+                    present[i] = true;
+                    touched.push(key);
+                }
+                values[i] = value;
+            }
+        }
+    }
+
+    /// Returns the value for `key`, or `None` if absent.
+    #[inline]
+    pub fn get(&self, key: NodeId) -> Option<f64> {
+        match &self.backend {
+            Backend::Sparse(m) => m.get(&key).copied(),
+            Backend::Dense {
+                values, present, ..
+            } => {
+                let i = key as usize;
+                if i < present.len() && present[i] {
+                    Some(values[i])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns the value for `key`, or `0.0` if absent.
+    #[inline]
+    pub fn get_or_zero(&self, key: NodeId) -> f64 {
+        self.get(key).unwrap_or(0.0)
+    }
+
+    /// True when `key` has a live entry.
+    #[inline]
+    pub fn contains(&self, key: NodeId) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        // Two concrete iterator types unified through an enum to avoid a
+        // boxed trait object on this hot path.
+        match &self.backend {
+            Backend::Sparse(m) => HybridIter::Sparse(m.iter()),
+            Backend::Dense {
+                values, touched, ..
+            } => HybridIter::Dense {
+                values,
+                touched: touched.iter(),
+            },
+        }
+    }
+
+    /// Drains the map into a vector of `(key, value)` pairs sorted by key,
+    /// leaving the map empty but with its dense capacity retained.
+    pub fn drain_sorted(&mut self) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = self.iter().collect();
+        out.sort_unstable_by_key(|&(k, _)| k);
+        self.clear();
+        out
+    }
+
+    /// Removes all entries, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        match &mut self.backend {
+            Backend::Sparse(m) => m.clear(),
+            Backend::Dense {
+                touched, present, ..
+            } => {
+                for &k in touched.iter() {
+                    present[k as usize] = false;
+                }
+                touched.clear();
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (used by the Figure 6 memory
+    /// accounting).
+    pub fn logical_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Sparse(m) => {
+                // Entry (u32 key + f64 value) plus ~1 byte control per slot at
+                // the std hashbrown layout; capacity approximated by len/0.875.
+                m.capacity() * (std::mem::size_of::<(NodeId, f64)>() + 1)
+            }
+            Backend::Dense {
+                values,
+                touched,
+                present,
+            } => {
+                values.capacity() * std::mem::size_of::<f64>()
+                    + touched.capacity() * std::mem::size_of::<NodeId>()
+                    + present.capacity()
+            }
+        }
+    }
+
+    #[cold]
+    fn migrate(&mut self) {
+        let Backend::Sparse(m) = &mut self.backend else {
+            return;
+        };
+        let mut values = vec![0.0; self.universe];
+        let mut present = vec![false; self.universe];
+        let mut touched = Vec::with_capacity(m.len() * 2);
+        for (&k, &v) in m.iter() {
+            values[k as usize] = v;
+            present[k as usize] = true;
+            touched.push(k);
+        }
+        self.backend = Backend::Dense {
+            values,
+            touched,
+            present,
+        };
+    }
+}
+
+enum HybridIter<'a> {
+    Sparse(std::collections::hash_map::Iter<'a, NodeId, f64>),
+    Dense {
+        values: &'a [f64],
+        touched: std::slice::Iter<'a, NodeId>,
+    },
+}
+
+impl Iterator for HybridIter<'_> {
+    type Item = (NodeId, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            HybridIter::Sparse(it) => it.next().map(|(&k, &v)| (k, v)),
+            HybridIter::Dense { values, touched } => {
+                touched.next().map(|&k| (k, values[k as usize]))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            HybridIter::Sparse(it) => it.size_hint(),
+            HybridIter::Dense { touched, .. } => touched.size_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_sparse_and_accumulates() {
+        let mut m = HybridMap::new(1000);
+        assert!(!m.is_dense());
+        m.add(5, 0.25);
+        m.add(5, 0.25);
+        assert_eq!(m.get(5), Some(0.5));
+        assert_eq!(m.get(6), None);
+        assert_eq!(m.get_or_zero(6), 0.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn migrates_to_dense_past_threshold() {
+        let mut m = HybridMap::new(64); // threshold = 8
+        for k in 0..8 {
+            m.add(k, 1.0);
+        }
+        assert!(!m.is_dense());
+        m.add(8, 1.0);
+        assert!(m.is_dense(), "9 > 64/8 should trigger migration");
+        // Values survive migration.
+        for k in 0..9 {
+            assert_eq!(m.get(k), Some(1.0), "key {k}");
+        }
+        m.add(3, 0.5);
+        assert_eq!(m.get(3), Some(1.5));
+        assert_eq!(m.len(), 9);
+    }
+
+    #[test]
+    fn set_overwrites_in_both_backends() {
+        let mut m = HybridMap::with_threshold(16, 1);
+        m.set(2, 1.0);
+        m.set(2, 3.0); // still sparse (len 1 == threshold, migrate at >)
+        assert_eq!(m.get(2), Some(3.0));
+        m.set(4, 1.0); // len 2 > 1 → dense
+        assert!(m.is_dense());
+        m.set(4, 9.0);
+        assert_eq!(m.get(4), Some(9.0));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iteration_matches_contents() {
+        for threshold in [0usize, 100] {
+            let mut m = HybridMap::with_threshold(100, threshold);
+            for k in (0..40).step_by(4) {
+                m.add(k, k as f64);
+            }
+            let mut got: Vec<_> = m.iter().collect();
+            got.sort_unstable_by_key(|&(k, _)| k);
+            let want: Vec<_> = (0..40).step_by(4).map(|k| (k, k as f64)).collect();
+            assert_eq!(got, want, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn clear_retains_backend_and_is_reusable() {
+        let mut m = HybridMap::with_threshold(32, 0);
+        m.add(1, 1.0);
+        assert!(m.is_dense());
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        m.add(1, 2.0);
+        assert_eq!(m.get(1), Some(2.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn drain_sorted_returns_sorted_pairs_and_empties() {
+        let mut m = HybridMap::new(100);
+        m.add(9, 0.9);
+        m.add(1, 0.1);
+        m.add(5, 0.5);
+        assert_eq!(m.drain_sorted(), vec![(1, 0.1), (5, 0.5), (9, 0.9)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn rejects_out_of_universe_keys() {
+        let mut m = HybridMap::new(4);
+        m.add(4, 1.0);
+    }
+
+    #[test]
+    fn dense_reinsert_after_clear_resets_value() {
+        // Regression guard: after clear(), stale dense values must not leak
+        // into re-inserted keys (add must overwrite, not accumulate).
+        let mut m = HybridMap::with_threshold(8, 0);
+        m.add(3, 7.0);
+        m.clear();
+        m.add(3, 1.0);
+        assert_eq!(m.get(3), Some(1.0));
+    }
+
+    #[test]
+    fn logical_bytes_is_monotone_in_population() {
+        let mut m = HybridMap::new(1 << 16);
+        let empty = m.logical_bytes();
+        for k in 0..1000 {
+            m.add(k, 1.0);
+        }
+        assert!(m.logical_bytes() >= empty);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic component in the workspace (walk samplers, dataset
+//! generators, index builders, query sets) takes an explicit `u64` seed and
+//! derives sub-seeds through [`SeedSequence`], a SplitMix64 stream. This
+//! makes whole experiments — including multi-threaded sampling, where each
+//! worker gets its own derived seed — reproducible from a single master
+//! seed.
+
+/// SplitMix64 step (Steele, Lea & Flood; public domain reference constants).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stream of independent sub-seeds derived from a master seed.
+#[derive(Debug, Clone)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+impl SeedSequence {
+    /// Starts a sequence from `master`.
+    pub fn new(master: u64) -> Self {
+        Self { state: master }
+    }
+
+    /// Returns the next derived seed.
+    pub fn next_seed(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Derives a seed for a labelled sub-component without advancing this
+    /// sequence (label-stable: the same `(master, label)` always yields the
+    /// same seed).
+    pub fn derive(&self, label: &str) -> u64 {
+        let mut state = self.state;
+        for chunk in label.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            state ^= u64::from_le_bytes(w);
+            splitmix64(&mut state);
+        }
+        // One extra mix so that an empty label still decorrelates from the
+        // raw state.
+        splitmix64(&mut state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs for seed 0 from the public SplitMix64 reference.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let mut a = SeedSequence::new(42);
+        let mut b = SeedSequence::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
+
+    #[test]
+    fn different_masters_diverge() {
+        let mut a = SeedSequence::new(1);
+        let mut b = SeedSequence::new(2);
+        assert_ne!(a.next_seed(), b.next_seed());
+    }
+
+    #[test]
+    fn labelled_derivation_is_stable_and_distinct() {
+        let s = SeedSequence::new(7);
+        assert_eq!(s.derive("walks"), s.derive("walks"));
+        assert_ne!(s.derive("walks"), s.derive("graph"));
+        // Deriving does not advance the sequence.
+        let mut s2 = SeedSequence::new(7);
+        let _ = s.derive("anything");
+        let mut s3 = SeedSequence::new(7);
+        assert_eq!(s2.next_seed(), s3.next_seed());
+    }
+}

@@ -1,0 +1,237 @@
+//! Stage 2a: hitting probabilities between attention nodes within `Gu`
+//! (paper Algorithm 3 / Eq. 12).
+//!
+//! A √c-walk *within `Gu`* from a level-`ℓ` node moves to its in-neighbours
+//! on level `ℓ+1`; because Source-Push pushed every frontier node to all of
+//! its `G`-in-neighbours, those transition probabilities coincide with the
+//! `G` transition probabilities for every node below level `L`. The
+//! algorithm seeds `h̃^(0)(w, w) = 1` at each attention node and pushes the
+//! values *down* the levels (from `L` towards 1) along `Gu`'s out-edges, so
+//! that after processing level `ℓ+1`, every node `w'` on level `ℓ` holds
+//! `h̃^(i)(w', wi)` for all attention nodes `wi` above it.
+
+use crate::source_graph::SourceGraph;
+use simrank_common::{FxHashMap, NodeId};
+use simrank_graph::GraphView;
+
+/// Compact index of all attention nodes of a query.
+///
+/// An attention node is a *(level, node)* pair — the same graph node may be
+/// an attention node on several levels (paper Fig. 1: `w_c` on levels 1 and
+/// 3) and each occurrence gets its own id, hitting rows, `γ` and residue.
+pub struct AttentionIndex {
+    /// `id → (level, node)`, ids assigned level-major, node-ascending.
+    pub nodes: Vec<(u32, NodeId)>,
+    /// `level → ids at that level` (index 0 unused and empty).
+    pub by_level: Vec<Vec<u32>>,
+}
+
+impl AttentionIndex {
+    /// Builds the index from the source graph's attention sets.
+    pub fn build(gu: &SourceGraph) -> Self {
+        let mut nodes = Vec::with_capacity(gu.num_attention());
+        let mut by_level = vec![Vec::new(); gu.levels.len()];
+        for (ell, level) in gu.levels.iter().enumerate().skip(1) {
+            for &w in &level.attention {
+                by_level[ell].push(nodes.len() as u32);
+                nodes.push((ell as u32, w));
+            }
+        }
+        Self { nodes, by_level }
+    }
+
+    /// Number of attention nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the query has no attention nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Level of attention id `id`.
+    #[inline]
+    pub fn level_of(&self, id: u32) -> u32 {
+        self.nodes[id as usize].0
+    }
+
+    /// Graph node of attention id `id`.
+    #[inline]
+    pub fn node_of(&self, id: u32) -> NodeId {
+        self.nodes[id as usize].1
+    }
+}
+
+/// Hitting probabilities `h̃` from each attention node to every attention
+/// node on a strictly higher level: `att_hit[src][tgt] = h̃^(Δℓ)(src, tgt)`
+/// where `Δℓ = level(tgt) − level(src) ≥ 1`.
+pub type AttentionHitting = Vec<FxHashMap<u32, f64>>;
+
+/// Runs Algorithm 3, returning the attention-to-attention hitting
+/// probabilities.
+pub fn attention_hitting<G: GraphView>(
+    g: &G,
+    gu: &SourceGraph,
+    att: &AttentionIndex,
+    sqrt_c: f64,
+) -> AttentionHitting {
+    let max_level = gu.max_level();
+    let mut att_hit: AttentionHitting = vec![FxHashMap::default(); att.len()];
+    if max_level < 2 {
+        return att_hit; // a (src, tgt) pair needs two distinct levels ≥ 1
+    }
+
+    // Rows at the level currently being processed:
+    // node → (target attention id → h̃).
+    let mut rows: FxHashMap<NodeId, FxHashMap<u32, f64>> = FxHashMap::default();
+
+    for ell in (1..=max_level).rev() {
+        // (a) Rows arriving at this level are now complete (they exclude the
+        // not-yet-seeded self entries): record them for attention nodes.
+        for &id in &att.by_level[ell] {
+            let w = att.node_of(id);
+            if let Some(row) = rows.get(&w) {
+                if !row.is_empty() {
+                    att_hit[id as usize] = row.clone();
+                }
+            }
+        }
+        if ell == 1 {
+            break; // nothing below level 1 is needed
+        }
+        // (b) Seed h̃^(0)(w, w) = 1 for attention nodes at this level.
+        for &id in &att.by_level[ell] {
+            rows.entry(att.node_of(id)).or_default().insert(id, 1.0);
+        }
+        // (c) Push every row one level down `Gu`'s out-edges. The receiver's
+        // in-degree within `Gu` equals its `G` in-degree (receivers live on
+        // levels 1..L−1, all fully pushed by Source-Push).
+        let below = &gu.levels[ell - 1].h;
+        let mut next: FxHashMap<NodeId, FxHashMap<u32, f64>> = FxHashMap::default();
+        for (wp, row) in &rows {
+            for &v in g.out_neighbors(*wp) {
+                if !below.contains(v) {
+                    continue; // edge not in Gu
+                }
+                let factor = sqrt_c / g.in_degree(v) as f64;
+                let entry = next.entry(v).or_default();
+                for (&tgt, &p) in row {
+                    *entry.entry(tgt).or_insert(0.0) += factor * p;
+                }
+            }
+        }
+        rows = next;
+    }
+    att_hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::source_push::source_push;
+    use simrank_graph::gen::shapes;
+
+    const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn attention_index_orders_level_major() {
+        let g = shapes::cycle(6);
+        let gu = source_push(&g, 0, &Config::exact(0.05)).gu;
+        let att = AttentionIndex::build(&gu);
+        assert_eq!(att.len(), gu.num_attention());
+        let mut last = (0u32, 0 as NodeId);
+        for id in 0..att.len() as u32 {
+            let cur = (att.level_of(id), att.node_of(id));
+            assert!(cur >= last, "ids must be level-major sorted");
+            last = cur;
+        }
+        assert!(att.by_level[0].is_empty());
+    }
+
+    #[test]
+    fn cycle_hitting_probabilities_are_powers_of_sqrt_c() {
+        // On cycle(5) from u=0, level ℓ holds exactly node (0−ℓ) mod 5 with
+        // h = √c^ℓ, and every level-ℓ attention node reaches the level-(ℓ+i)
+        // one with h̃ = √c^i (single path, no branching).
+        let g = shapes::cycle(5);
+        let cfg = Config::exact(0.05);
+        let gu = source_push(&g, 0, &cfg).gu;
+        let att = AttentionIndex::build(&gu);
+        let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+        let max_level = gu.max_level();
+        assert!(max_level >= 3, "need depth for this test (got {max_level})");
+        for src in 0..att.len() as u32 {
+            let src_level = att.level_of(src) as i32;
+            // Expect exactly one target per higher level.
+            let row = &hit[src as usize];
+            let expect_targets = max_level as i32 - src_level;
+            assert_eq!(row.len() as i32, expect_targets, "src level {src_level}");
+            for (&tgt, &h) in row {
+                let i = att.level_of(tgt) as i32 - src_level;
+                assert!(i >= 1);
+                assert!(
+                    close(h, SQRT_C.powi(i)),
+                    "h̃^{i} = {h}, want {}",
+                    SQRT_C.powi(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_exclude_self_and_lower_levels() {
+        let g = shapes::cycle(6);
+        let cfg = Config::exact(0.02);
+        let gu = source_push(&g, 0, &cfg).gu;
+        let att = AttentionIndex::build(&gu);
+        let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+        for src in 0..att.len() as u32 {
+            for &tgt in hit[src as usize].keys() {
+                assert!(
+                    att.level_of(tgt) > att.level_of(src),
+                    "targets must sit strictly above the source level"
+                );
+                assert_ne!(tgt, src);
+            }
+        }
+    }
+
+    #[test]
+    fn shallow_gu_yields_no_pairs() {
+        // star_in: Gu has only levels 0..1 → no attention pairs.
+        let g = shapes::star_in(4);
+        let cfg = Config::exact(0.3);
+        let gu = source_push(&g, 0, &cfg).gu;
+        assert_eq!(gu.max_level(), 1);
+        let att = AttentionIndex::build(&gu);
+        let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+        assert!(hit.iter().all(|row| row.is_empty()));
+    }
+
+    #[test]
+    fn layered_dag_branching_hitting() {
+        // layered_dag(3,2) from u=4 (layer 2): Gu levels are the layers.
+        // Attention at level 1 = {2,3}, level 2 = {0,1} (ε small).
+        // From node 2 (level 1): walk to layer-0 nodes: h̃^(1)(2, 0) = √c/2.
+        let g = shapes::layered_dag(3, 2);
+        let cfg = Config::exact(0.01);
+        let gu = source_push(&g, 4, &cfg).gu;
+        let att = AttentionIndex::build(&gu);
+        let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+        // find id of (level 1, node 2) and (level 2, node 0)
+        let src = (0..att.len() as u32)
+            .find(|&i| att.level_of(i) == 1 && att.node_of(i) == 2)
+            .expect("node 2 attention at level 1");
+        let tgt = (0..att.len() as u32)
+            .find(|&i| att.level_of(i) == 2 && att.node_of(i) == 0)
+            .expect("node 0 attention at level 2");
+        let h = hit[src as usize][&tgt];
+        assert!(close(h, SQRT_C / 2.0), "h̃ = {h}");
+    }
+}

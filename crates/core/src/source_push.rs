@@ -1,0 +1,224 @@
+//! Stage 1: Source-Push (paper Algorithm 2).
+//!
+//! Detects the maximum useful level `L`, then pushes hitting probabilities
+//! `h^(ℓ)(u, ·)` from the query node along **in**-edges for `L` levels,
+//! producing the source graph `Gu` and the per-level attention sets.
+
+use crate::config::{Config, LevelDetection};
+use crate::source_graph::{Level, SourceGraph};
+use simrank_common::{HybridMap, NodeId};
+use simrank_graph::GraphView;
+use simrank_walks::{LevelVisits, WalkParams};
+
+/// Result of Source-Push, with the sampling statistics the paper reports.
+pub struct SourcePushOutput {
+    /// The source graph `Gu` (levels `0..=L` after trimming).
+    pub gu: SourceGraph,
+    /// Number of √c-walks sampled for level detection (0 in exact mode).
+    pub num_walks: usize,
+    /// Level reported by the detector before the attention-based trim.
+    pub detected_level: usize,
+}
+
+/// Runs Source-Push for query node `u`.
+///
+/// # Panics
+/// Panics if `u` is outside the graph's node range.
+pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOutput {
+    let n = g.num_nodes();
+    assert!((u as usize) < n, "query node {u} outside graph with {n} nodes");
+    let l_star = cfg.l_star();
+
+    // Lines 1–8: determine how deep to push.
+    let (target_level, num_walks) = match cfg.level_detection {
+        LevelDetection::Exact => (l_star, 0),
+        LevelDetection::MonteCarlo => {
+            let walks = cfg.num_detection_walks();
+            let visits =
+                LevelVisits::sample(g, u, WalkParams::new(cfg.c), walks, l_star, cfg.seed);
+            let threshold = cfg.detection_threshold(walks);
+            (visits.deepest_level_with_count(threshold).min(l_star), walks)
+        }
+    };
+
+    // Lines 9–21: level-wise residue propagation along in-edges.
+    let eps_h = cfg.eps_h();
+    let sqrt_c = cfg.sqrt_c();
+    let mut levels = Vec::with_capacity(target_level + 1);
+    let mut level0 = HybridMap::new(n);
+    level0.set(u, 1.0);
+    levels.push(Level {
+        h: level0,
+        attention: Vec::new(), // the trivial ℓ = 0 case is excluded (Eq. 7)
+    });
+
+    for ell in 0..target_level {
+        let mut next = HybridMap::new(n);
+        for (v, h) in levels[ell].h.iter() {
+            let ins = g.in_neighbors(v);
+            if ins.is_empty() {
+                continue; // √c-walks die at source nodes
+            }
+            let inc = sqrt_c * h / ins.len() as f64;
+            for &vp in ins {
+                next.add(vp, inc);
+            }
+        }
+        if next.is_empty() {
+            break; // frontier exhausted (pure-source level)
+        }
+        let mut attention: Vec<NodeId> = next
+            .iter()
+            .filter(|&(_, h)| h >= eps_h)
+            .map(|(w, _)| w)
+            .collect();
+        attention.sort_unstable();
+        levels.push(Level { h: next, attention });
+    }
+
+    // Trailing levels without attention nodes cannot contribute to any
+    // estimate (no residue seeds, no attention meetings), so trim them; this
+    // keeps the later stages' level loops tight without changing the result.
+    while levels.len() > 1 && levels.last().unwrap().attention.is_empty() {
+        levels.pop();
+    }
+
+    SourcePushOutput {
+        gu: SourceGraph {
+            query: u,
+            levels,
+            universe: n,
+        },
+        num_walks,
+        detected_level: target_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrank_graph::gen::shapes;
+
+    const SQRT_C: f64 = 0.774_596_669_241_483_4; // √0.6
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn layered_dag_hitting_probabilities_are_exact() {
+        // layered_dag(3, 2): layer 0 = {0,1}, layer 1 = {2,3}, layer 2 = {4,5};
+        // edges go layer ℓ → ℓ+1, so in-neighbours point towards layer 0.
+        // From u = 4: h^(1)(u, each layer-1 node) = √c/2,
+        //             h^(2)(u, each layer-0 node) = √c·(√c/2)/2·2 = c/2.
+        let g = shapes::layered_dag(3, 2);
+        let cfg = Config::exact(0.001);
+        let out = source_push(&g, 4, &cfg);
+        let gu = &out.gu;
+        assert!(gu.max_level() >= 2);
+        assert!(close(gu.levels[1].h.get(2).unwrap(), SQRT_C / 2.0));
+        assert!(close(gu.levels[1].h.get(3).unwrap(), SQRT_C / 2.0));
+        assert!(close(gu.levels[2].h.get(0).unwrap(), 0.3));
+        assert!(close(gu.levels[2].h.get(1).unwrap(), 0.3));
+        assert_eq!(gu.levels[0].h.get(4), Some(1.0));
+    }
+
+    #[test]
+    fn level_mass_sums_to_sqrt_c_powers() {
+        // On a graph where no walk dies (cycle), Σ_w h^(ℓ)(u,w) = √c^ℓ.
+        let g = shapes::cycle(7);
+        let cfg = Config::exact(0.01);
+        let gu = source_push(&g, 0, &cfg).gu;
+        for (ell, level) in gu.levels.iter().enumerate() {
+            let mass: f64 = level.h.iter().map(|(_, h)| h).sum();
+            assert!(
+                close(mass, SQRT_C.powi(ell as i32)),
+                "level {ell}: mass {mass}"
+            );
+        }
+    }
+
+    #[test]
+    fn attention_threshold_is_respected() {
+        let g = shapes::cycle(5);
+        let cfg = Config::exact(0.05);
+        let eps_h = cfg.eps_h();
+        let gu = source_push(&g, 0, &cfg).gu;
+        for (ell, level) in gu.levels.iter().enumerate().skip(1) {
+            for (w, h) in level.h.iter() {
+                let marked = level.attention.binary_search(&w).is_ok();
+                assert_eq!(marked, h >= eps_h, "level {ell} node {w} h={h}");
+            }
+        }
+        // Cycle walks never split, so every visited node is attention until
+        // √c^ℓ < ε_h, i.e. exactly L* levels.
+        assert_eq!(gu.max_level(), cfg.l_star());
+    }
+
+    #[test]
+    fn source_node_query_yields_trivial_gu() {
+        // Node 0 of a path has no in-neighbours: Gu is just level 0.
+        let g = shapes::path(4);
+        let out = source_push(&g, 0, &Config::exact(0.01));
+        assert_eq!(out.gu.max_level(), 0);
+        assert_eq!(out.gu.num_attention(), 0);
+    }
+
+    #[test]
+    fn monte_carlo_detection_matches_exact_on_easy_graph() {
+        // The cycle keeps all mass on one node per level, making detection
+        // easy: MC must find the same L as the exact oracle.
+        let g = shapes::cycle(9);
+        let exact = source_push(&g, 0, &Config::exact(0.02)).gu.max_level();
+        let mc = source_push(&g, 0, &Config::new(0.02)).gu.max_level();
+        assert_eq!(mc, exact);
+    }
+
+    #[test]
+    fn trailing_attention_free_levels_are_trimmed() {
+        // star_in(6) query at centre: level 1 holds the five leaves with
+        // h = √c/5 each; with ε large enough they are below ε_h → trimmed.
+        let g = shapes::star_in(6);
+        let cfg = Config::exact(0.9); // ε_h ≈ 0.0873 < √c/5 ≈ 0.155 — attention kept
+        let gu = source_push(&g, 0, &cfg).gu;
+        assert_eq!(gu.max_level(), 1);
+
+        let g2 = shapes::star_in(20); // √c/19 ≈ 0.041 < ε_h → trimmed
+        let gu2 = source_push(&g2, 0, &cfg).gu;
+        assert_eq!(gu2.max_level(), 0, "below-threshold level must be trimmed");
+    }
+
+    #[test]
+    fn detection_walk_count_is_reported() {
+        let g = shapes::cycle(4);
+        let cfg = Config::new(0.05);
+        let out = source_push(&g, 0, &cfg);
+        assert_eq!(out.num_walks, cfg.num_detection_walks());
+        let exact = source_push(&g, 0, &Config::exact(0.05));
+        assert_eq!(exact.num_walks, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = simrank_graph::gen::gnm(200, 1000, 3);
+        let cfg = Config::new(0.02);
+        let a = source_push(&g, 5, &cfg);
+        let b = source_push(&g, 5, &cfg);
+        assert_eq!(a.gu.max_level(), b.gu.max_level());
+        for (la, lb) in a.gu.levels.iter().zip(b.gu.levels.iter()) {
+            assert_eq!(la.attention, lb.attention);
+            let mut ha: Vec<_> = la.h.iter().collect();
+            let mut hb: Vec<_> = lb.h.iter().collect();
+            ha.sort_by_key(|&(k, _)| k);
+            hb.sort_by_key(|&(k, _)| k);
+            assert_eq!(ha, hb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside graph")]
+    fn rejects_out_of_range_query() {
+        let g = shapes::path(3);
+        source_push(&g, 9, &Config::new(0.01));
+    }
+}

@@ -1,0 +1,30 @@
+//! Evaluation harness for the SimPush reproduction.
+//!
+//! Mirrors the paper's experimental methodology (§5.1):
+//!
+//! * [`metrics`] — `AvgError@k` and `Precision@k` against pooled ground
+//!   truth.
+//! * [`ground_truth`] — pooled pairwise Monte-Carlo ground truth with an
+//!   on-disk cache, plus a power-method exact path for small graphs.
+//! * [`datasets`] — the nine deterministic synthetic stand-ins for the
+//!   paper's Table 4 datasets (substitutions documented in `DESIGN.md` §4).
+//! * [`methods`] — the seven methods with the paper's five-point parameter
+//!   grids, behind one factory interface.
+//! * [`runner`] — per-dataset experiment driver: builds indexes, times
+//!   queries, spills score vectors, pools ground truth, computes metrics,
+//!   applies the paper's resource-exclusion rules.
+//! * [`report`] — plain-text table/CSV emitters used by the `fig*`/`table*`
+//!   binaries.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod ground_truth;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use datasets::{registry, DatasetSpec};
+pub use methods::{method_grid, MethodFamily, MethodSetting};
+pub use runner::{run_dataset, ExperimentConfig, MethodResult};

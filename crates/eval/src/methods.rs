@@ -1,0 +1,283 @@
+//! Method factory: the seven evaluated methods with the paper's five-point
+//! parameter grids (§5.1 "Parameters").
+
+use simrank_baselines::{PrSim, ProbeSim, Reads, SimRankMethod, Sling, TopSim, Tsf};
+use simrank_common::NodeId;
+use simrank_graph::CsrGraph;
+use simpush::{Config, QueryStats, SimPush};
+
+/// The method families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodFamily {
+    /// SimPush (this paper).
+    SimPush,
+    /// ProbeSim [21] — index-free.
+    ProbeSim,
+    /// TopSim [15] — index-free.
+    TopSim,
+    /// SLING [31] — index-based.
+    Sling,
+    /// PRSim [33] — index-based.
+    PrSim,
+    /// READS [12] — index-based.
+    Reads,
+    /// TSF [28] — index-based.
+    Tsf,
+}
+
+impl MethodFamily {
+    /// Display name as used in the paper's figures.
+    pub fn display(&self) -> &'static str {
+        match self {
+            MethodFamily::SimPush => "SimPush",
+            MethodFamily::ProbeSim => "ProbeSim",
+            MethodFamily::TopSim => "TopSim",
+            MethodFamily::Sling => "SLING",
+            MethodFamily::PrSim => "PRSim",
+            MethodFamily::Reads => "READS",
+            MethodFamily::Tsf => "TSF",
+        }
+    }
+
+    /// All seven families, index-free methods first.
+    pub fn all() -> [MethodFamily; 7] {
+        [
+            MethodFamily::SimPush,
+            MethodFamily::ProbeSim,
+            MethodFamily::TopSim,
+            MethodFamily::Sling,
+            MethodFamily::PrSim,
+            MethodFamily::Reads,
+            MethodFamily::Tsf,
+        ]
+    }
+}
+
+/// One point of a method's parameter grid.
+#[derive(Debug, Clone)]
+pub struct MethodSetting {
+    /// Family this setting belongs to.
+    pub family: MethodFamily,
+    /// Grid position 0..5 (0 = coarsest/fastest, 4 = most accurate).
+    pub setting_idx: usize,
+    /// Human-readable label (family + parameters).
+    pub label: String,
+    config: MethodConfig,
+}
+
+#[derive(Debug, Clone)]
+enum MethodConfig {
+    SimPush { epsilon: f64 },
+    ProbeSim { epsilon: f64, prune: f64 },
+    TopSim { depth: usize, degree_threshold: usize },
+    Sling { eps_index: f64, eta_samples: usize },
+    PrSim { epsilon: f64, eps_push: f64, eta_samples: usize },
+    Reads { r: usize, t: usize },
+    Tsf { rg: usize, rq: usize },
+}
+
+impl MethodSetting {
+    /// Instantiates a fresh method object (unbuilt index) for this setting.
+    pub fn instantiate(&self, seed: u64) -> Box<dyn SimRankMethod> {
+        match self.config {
+            MethodConfig::SimPush { epsilon } => {
+                Box::new(SimPushMethod::new(Config::new(epsilon)))
+            }
+            MethodConfig::ProbeSim { epsilon, prune } => Box::new(ProbeSim {
+                prune,
+                ..ProbeSim::new(epsilon, seed)
+            }),
+            MethodConfig::TopSim {
+                depth,
+                degree_threshold,
+            } => Box::new(TopSim::new(depth, degree_threshold)),
+            MethodConfig::Sling {
+                eps_index,
+                eta_samples,
+            } => Box::new(Sling::new(eps_index, eta_samples, seed)),
+            MethodConfig::PrSim {
+                epsilon,
+                eps_push,
+                eta_samples,
+            } => Box::new(PrSim::new(epsilon, eps_push, eta_samples, seed)),
+            MethodConfig::Reads { r, t } => Box::new(Reads::new(r, t, seed)),
+            MethodConfig::Tsf { rg, rq } => Box::new(Tsf::new(rg, rq, seed)),
+        }
+    }
+}
+
+/// The paper's five-point parameter grid for `family` (§5.1), ordered from
+/// fastest/coarsest to slowest/most accurate.
+pub fn method_grid(family: MethodFamily) -> Vec<MethodSetting> {
+    let mk = |idx: usize, label: String, config: MethodConfig| MethodSetting {
+        family,
+        setting_idx: idx,
+        label,
+        config,
+    };
+    match family {
+        MethodFamily::SimPush => [0.05, 0.02, 0.01, 0.005, 0.002]
+            .iter()
+            .enumerate()
+            .map(|(i, &eps)| {
+                mk(
+                    i,
+                    format!("SimPush ε={eps}"),
+                    MethodConfig::SimPush { epsilon: eps },
+                )
+            })
+            .collect(),
+        MethodFamily::ProbeSim => [0.5, 0.1, 0.05, 0.01, 0.005]
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                mk(
+                    i,
+                    format!("ProbeSim a={a}"),
+                    MethodConfig::ProbeSim {
+                        epsilon: a,
+                        prune: a / 100.0,
+                    },
+                )
+            })
+            .collect(),
+        MethodFamily::TopSim => [(1usize, 10usize), (3, 100), (3, 1000), (3, 10_000), (4, 10_000)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, h))| {
+                mk(
+                    i,
+                    format!("TopSim T={t},1/h={h}"),
+                    MethodConfig::TopSim {
+                        depth: t,
+                        degree_threshold: h,
+                    },
+                )
+            })
+            .collect(),
+        MethodFamily::Sling => [0.5f64, 0.1, 0.05, 0.01, 0.005]
+            .iter()
+            .zip([200usize, 500, 1000, 2000, 4000])
+            .enumerate()
+            .map(|(i, (&a, eta))| {
+                mk(
+                    i,
+                    format!("SLING a={a}"),
+                    MethodConfig::Sling {
+                        eps_index: (a / 4.0).max(1e-4),
+                        eta_samples: eta,
+                    },
+                )
+            })
+            .collect(),
+        MethodFamily::PrSim => [0.5, 0.1, 0.05, 0.01, 0.005]
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                mk(
+                    i,
+                    format!("PRSim a={a}"),
+                    MethodConfig::PrSim {
+                        epsilon: a,
+                        eps_push: (a / 20.0).max(5e-5),
+                        eta_samples: 2000,
+                    },
+                )
+            })
+            .collect(),
+        MethodFamily::Reads => [(10usize, 2usize), (50, 5), (100, 10), (500, 10), (1000, 20)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, t))| {
+                mk(
+                    i,
+                    format!("READS r={r},t={t}"),
+                    MethodConfig::Reads { r, t },
+                )
+            })
+            .collect(),
+        MethodFamily::Tsf => [(10usize, 2usize), (100, 20), (200, 30), (300, 40), (600, 80)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(rg, rq))| {
+                mk(
+                    i,
+                    format!("TSF Rg={rg},Rq={rq}"),
+                    MethodConfig::Tsf { rg, rq },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// SimPush wrapped as a [`SimRankMethod`] (index-free: `preprocess` is a
+/// no-op). Keeps the last query's [`QueryStats`] for the structural
+/// reports.
+pub struct SimPushMethod {
+    engine: SimPush,
+    /// Stats of the most recent query.
+    pub last_stats: Option<QueryStats>,
+}
+
+impl SimPushMethod {
+    /// Wraps a SimPush engine.
+    pub fn new(config: Config) -> Self {
+        Self {
+            engine: SimPush::new(config),
+            last_stats: None,
+        }
+    }
+}
+
+impl SimRankMethod for SimPushMethod {
+    fn name(&self) -> String {
+        format!("SimPush(ε={})", self.engine.config().epsilon)
+    }
+
+    fn query(&mut self, g: &CsrGraph, u: NodeId) -> Vec<f64> {
+        let result = self.engine.query(g, u);
+        self.last_stats = Some(result.stats);
+        result.scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn every_family_has_five_settings() {
+        for family in MethodFamily::all() {
+            let grid = method_grid(family);
+            assert_eq!(grid.len(), 5, "{family:?}");
+            for (i, s) in grid.iter().enumerate() {
+                assert_eq!(s.setting_idx, i);
+                assert!(s.label.contains(family.display()), "{}", s.label);
+            }
+        }
+    }
+
+    #[test]
+    fn instantiated_methods_answer_queries() {
+        let g = shapes::jeh_widom();
+        for family in MethodFamily::all() {
+            let setting = &method_grid(family)[0];
+            let mut m = setting.instantiate(7);
+            m.preprocess(&g);
+            let scores = m.query(&g, 1);
+            assert_eq!(scores.len(), 5, "{}", setting.label);
+            assert_eq!(scores[1], 1.0, "{}: diagonal", setting.label);
+        }
+    }
+
+    #[test]
+    fn simpush_wrapper_captures_stats() {
+        let g = shapes::jeh_widom();
+        let mut m = SimPushMethod::new(Config::new(0.02));
+        assert!(m.last_stats.is_none());
+        m.query(&g, 0);
+        assert!(m.last_stats.is_some());
+        assert!(!m.is_indexed());
+    }
+}

@@ -1,0 +1,103 @@
+//! Accuracy metrics from the paper (§5.1).
+
+use simrank_common::{FxHashMap, FxHashSet, NodeId};
+
+/// Top-`k` nodes of a score vector, excluding `exclude` (the query node),
+/// considering only strictly positive scores. Ties break towards smaller
+/// node ids so results are deterministic.
+pub fn top_k_nodes(scores: &[f64], k: usize, exclude: NodeId) -> Vec<NodeId> {
+    let mut entries: Vec<(NodeId, f64)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(v, &s)| v as NodeId != exclude && s > 0.0)
+        .map(|(v, &s)| (v as NodeId, s))
+        .collect();
+    entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    entries.truncate(k);
+    entries.into_iter().map(|(v, _)| v).collect()
+}
+
+/// Same as [`top_k_nodes`] but over a sparse `(node, score)` list.
+pub fn top_k_sparse(entries: &[(NodeId, f64)], k: usize, exclude: NodeId) -> Vec<NodeId> {
+    let mut e: Vec<(NodeId, f64)> = entries
+        .iter()
+        .filter(|&&(v, s)| v != exclude && s > 0.0)
+        .copied()
+        .collect();
+    e.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    e.truncate(k);
+    e.into_iter().map(|(v, _)| v).collect()
+}
+
+/// `AvgError@k = (1/k)·Σ_{vi ∈ Vk} |ŝ(u,vi) − s(u,vi)|` where `Vk` is the
+/// ground-truth top-k (with values) and `estimates` maps node → ŝ (missing
+/// nodes estimate 0).
+pub fn avg_error_at_k(
+    truth_top_k: &[(NodeId, f64)],
+    estimates: &FxHashMap<NodeId, f64>,
+) -> f64 {
+    if truth_top_k.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = truth_top_k
+        .iter()
+        .map(|&(v, s)| (estimates.get(&v).copied().unwrap_or(0.0) - s).abs())
+        .sum();
+    sum / truth_top_k.len() as f64
+}
+
+/// `Precision@k = |Vk ∩ V'k| / k` — note the denominator is `k` even when
+/// the method returned fewer than `k` positive nodes (matching the paper's
+/// definition, which penalises incomplete result lists).
+pub fn precision_at_k(truth_top_k: &[NodeId], returned_top_k: &[NodeId], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let truth: FxHashSet<NodeId> = truth_top_k.iter().copied().collect();
+    let hits = returned_top_k.iter().filter(|v| truth.contains(v)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_and_excludes() {
+        let scores = vec![0.9, 1.0, 0.5, 0.0, 0.5];
+        // exclude node 1 (the "query"); ties (2 vs 4) break to smaller id.
+        assert_eq!(top_k_nodes(&scores, 3, 1), vec![0, 2, 4]);
+        assert_eq!(top_k_nodes(&scores, 10, 1), vec![0, 2, 4], "zeros dropped");
+    }
+
+    #[test]
+    fn sparse_and_dense_top_k_agree() {
+        let scores = vec![0.1, 0.0, 0.7, 0.3];
+        let sparse: Vec<(NodeId, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(v, &s)| (v as NodeId, s))
+            .collect();
+        assert_eq!(top_k_nodes(&scores, 2, 9), top_k_sparse(&sparse, 2, 9));
+    }
+
+    #[test]
+    fn avg_error_penalises_missing_estimates() {
+        let truth = vec![(1 as NodeId, 0.5), (2, 0.3)];
+        let mut est = FxHashMap::default();
+        est.insert(1 as NodeId, 0.45);
+        // node 2 missing → error 0.3
+        let err = avg_error_at_k(&truth, &est);
+        assert!((err - (0.05 + 0.3) / 2.0).abs() < 1e-12);
+        assert_eq!(avg_error_at_k(&[], &est), 0.0);
+    }
+
+    #[test]
+    fn precision_uses_k_denominator() {
+        let truth = vec![1, 2, 3, 4];
+        assert_eq!(precision_at_k(&truth, &[1, 2], 4), 0.5);
+        assert_eq!(precision_at_k(&truth, &[5, 6, 7, 8], 4), 0.0);
+        assert_eq!(precision_at_k(&truth, &[4, 3, 2, 1], 4), 1.0);
+        assert_eq!(precision_at_k(&truth, &[], 0), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text emitters for figure/table binaries.
+
+use crate::runner::MethodResult;
+use simrank_common::mem::format_bytes;
+
+/// Renders results as an aligned text table (one row per setting), the
+/// format the `fig*` binaries print.
+pub fn results_table(results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>12} {:>11} {:>10} {:>12} {:>12}  {}\n",
+        "method", "pre(s)", "query(s)", "AvgErr@k", "Prec@k", "index", "peakRSS", "note"
+    ));
+    for r in results {
+        let note = r.excluded.clone().unwrap_or_default();
+        out.push_str(&format!(
+            "{:<24} {:>10.3} {:>12.6} {:>11.6} {:>10.3} {:>12} {:>12}  {}\n",
+            r.label,
+            r.preprocess_secs,
+            r.avg_query_secs,
+            r.avg_error,
+            r.precision,
+            format_bytes(r.index_bytes as u64),
+            r.peak_rss_bytes.map_or_else(|| "-".into(), format_bytes),
+            note
+        ));
+    }
+    out
+}
+
+/// Renders results as CSV (machine-readable companion to the table).
+pub fn results_csv(results: &[MethodResult]) -> String {
+    let mut out = String::from(
+        "dataset,family,label,setting_idx,preprocess_secs,avg_query_secs,avg_error,precision,index_bytes,graph_bytes,peak_rss_bytes,queries_run,excluded\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{},{},\"{}\",{},{:.6},{:.9},{:.9},{:.6},{},{},{},{},\"{}\"\n",
+            r.dataset,
+            r.family,
+            r.label,
+            r.setting_idx,
+            r.preprocess_secs,
+            r.avg_query_secs,
+            r.avg_error,
+            r.precision,
+            r.index_bytes,
+            r.graph_bytes,
+            r.peak_rss_bytes.unwrap_or(0),
+            r.queries_run,
+            r.excluded.clone().unwrap_or_default()
+        ));
+    }
+    out
+}
+
+/// Writes CSV next to stdout output; best-effort (warns on failure).
+pub fn write_csv(results: &[MethodResult], path: &std::path::Path) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Err(e) = std::fs::write(path, results_csv(results)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MethodResult {
+        MethodResult {
+            dataset: "d".into(),
+            label: "SimPush ε=0.02".into(),
+            family: "SimPush".into(),
+            setting_idx: 1,
+            preprocess_secs: 0.0,
+            avg_query_secs: 0.0123,
+            avg_error: 0.00042,
+            precision: 0.96,
+            index_bytes: 0,
+            graph_bytes: 1024,
+            peak_rss_bytes: Some(1 << 20),
+            queries_run: 10,
+            excluded: None,
+        }
+    }
+
+    #[test]
+    fn table_contains_key_fields() {
+        let t = results_table(&[sample()]);
+        assert!(t.contains("SimPush ε=0.02"));
+        assert!(t.contains("0.960"));
+    }
+
+    #[test]
+    fn csv_has_header_and_row() {
+        let c = results_csv(&[sample()]);
+        let mut lines = c.lines();
+        assert!(lines.next().unwrap().starts_with("dataset,family"));
+        let row = lines.next().unwrap();
+        assert!(row.contains("SimPush") && row.contains("0.96"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-dataset experiment driver.
+//!
+//! For one dataset and a list of method settings, the runner:
+//!
+//! 1. builds each method's index (timed; over-budget builds mark the
+//!    setting *excluded*, mirroring the paper's "cannot finish
+//!    preprocessing within 24 hours" rule),
+//! 2. times every query and spills each score vector's non-zeros to a
+//!    scratch file (they are needed again after ground truth exists, and
+//!    keeping 35 settings × queries of dense vectors in RAM is exactly the
+//!    kind of peak-memory distortion Figure 6 is about),
+//! 3. pools every method's top-k per query, computes pooled Monte-Carlo
+//!    ground truth (disk-cached), and
+//! 4. scores each setting with `AvgError@k` / `Precision@k`.
+
+use crate::datasets::query_nodes;
+use crate::ground_truth::pooled_ground_truth;
+use crate::methods::MethodSetting;
+use crate::metrics::{avg_error_at_k, precision_at_k, top_k_sparse};
+use simrank_common::mem::{peak_rss_bytes, LogicalBytes};
+use simrank_common::{FxHashMap, FxHashSet, NodeId, Timer};
+use simrank_graph::CsrGraph;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Experiment parameters (env-overridable where noted).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Top-k cutoff (the paper uses 50).
+    pub k: usize,
+    /// Queries per dataset (`SIMRANK_QUERIES`, default 10; paper uses 100).
+    pub num_queries: usize,
+    /// Seed for query selection.
+    pub query_seed: u64,
+    /// Seed handed to the methods.
+    pub method_seed: u64,
+    /// Walk-pair samples per ground-truth pair (`SIMRANK_GT_SAMPLES`).
+    pub gt_samples: usize,
+    /// Threads for ground-truth sampling.
+    pub gt_threads: usize,
+    /// Preprocessing budget; slower builds are marked excluded
+    /// (`SIMRANK_PRE_BUDGET_SECS`).
+    pub preprocess_budget: Duration,
+    /// Per-query budget; a setting whose query exceeds it stops early
+    /// (`SIMRANK_QUERY_BUDGET_SECS`).
+    pub query_budget: Duration,
+    /// Scratch directory for spilled score vectors.
+    pub scratch_dir: PathBuf,
+    /// Ground-truth cache directory (`None` disables caching).
+    pub gt_cache_dir: Option<PathBuf>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            k: 50,
+            num_queries: 10,
+            query_seed: 0xBEE5,
+            method_seed: 0xACE5,
+            gt_samples: 200_000,
+            gt_threads: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            preprocess_budget: Duration::from_secs(300),
+            query_budget: Duration::from_secs(60),
+            scratch_dir: PathBuf::from("target/scratch"),
+            gt_cache_dir: Some(PathBuf::from("target/ground_truth")),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Default configuration with environment-variable overrides applied.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(q) = env_usize("SIMRANK_QUERIES") {
+            cfg.num_queries = q.max(1);
+        }
+        if let Some(s) = env_usize("SIMRANK_GT_SAMPLES") {
+            cfg.gt_samples = s.max(1000);
+        }
+        if let Some(b) = env_usize("SIMRANK_PRE_BUDGET_SECS") {
+            cfg.preprocess_budget = Duration::from_secs(b as u64);
+        }
+        if let Some(b) = env_usize("SIMRANK_QUERY_BUDGET_SECS") {
+            cfg.query_budget = Duration::from_secs(b as u64);
+        }
+        cfg
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Outcome of one method setting on one dataset.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Setting label (family + parameters).
+    pub label: String,
+    /// Family display name.
+    pub family: String,
+    /// Grid position 0..5.
+    pub setting_idx: usize,
+    /// Index build time (0 for index-free methods).
+    pub preprocess_secs: f64,
+    /// Mean query latency over completed queries.
+    pub avg_query_secs: f64,
+    /// Mean `AvgError@k` over completed queries.
+    pub avg_error: f64,
+    /// Mean `Precision@k` over completed queries.
+    pub precision: f64,
+    /// Index heap bytes.
+    pub index_bytes: usize,
+    /// Graph heap bytes (same for every setting; carried for Figure 6).
+    pub graph_bytes: usize,
+    /// Process peak RSS observed after this setting ran.
+    pub peak_rss_bytes: Option<u64>,
+    /// Number of queries actually completed.
+    pub queries_run: usize,
+    /// `Some(reason)` when the paper's resource rules cut this setting.
+    pub excluded: Option<String>,
+}
+
+/// Runs `settings` on one dataset. See module docs for the phases.
+pub fn run_dataset(
+    dataset: &str,
+    g: &CsrGraph,
+    settings: &[MethodSetting],
+    cfg: &ExperimentConfig,
+) -> Vec<MethodResult> {
+    let queries = query_nodes(g, cfg.num_queries, cfg.query_seed);
+    let scratch = cfg.scratch_dir.join(dataset);
+    std::fs::create_dir_all(&scratch).ok();
+    let graph_bytes = g.logical_bytes();
+
+    // Phase 1+2: build, query, spill.
+    let mut results: Vec<MethodResult> = Vec::with_capacity(settings.len());
+    let mut top_lists: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(settings.len());
+    for (si, setting) in settings.iter().enumerate() {
+        let mut method = setting.instantiate(cfg.method_seed);
+        let mut result = MethodResult {
+            dataset: dataset.to_string(),
+            label: setting.label.clone(),
+            family: setting.family.display().to_string(),
+            setting_idx: setting.setting_idx,
+            preprocess_secs: 0.0,
+            avg_query_secs: 0.0,
+            avg_error: 0.0,
+            precision: 0.0,
+            index_bytes: 0,
+            graph_bytes,
+            peak_rss_bytes: None,
+            queries_run: 0,
+            excluded: None,
+        };
+
+        let t = Timer::start();
+        method.preprocess(g);
+        result.preprocess_secs = t.elapsed().as_secs_f64();
+        result.index_bytes = method.index_bytes();
+        if t.elapsed() > cfg.preprocess_budget {
+            result.excluded = Some(format!(
+                "preprocessing {:.1}s over budget {:.0}s",
+                result.preprocess_secs,
+                cfg.preprocess_budget.as_secs_f64()
+            ));
+            results.push(result);
+            top_lists.push(vec![Vec::new(); queries.len()]);
+            continue;
+        }
+
+        let mut tops: Vec<Vec<NodeId>> = vec![Vec::new(); queries.len()];
+        let mut total = Duration::ZERO;
+        for (qi, &u) in queries.iter().enumerate() {
+            let t = Timer::start();
+            let scores = method.query(g, u);
+            let qt = t.elapsed();
+            total += qt;
+            let sparse = sparsify(&scores);
+            tops[qi] = top_k_sparse(&sparse, cfg.k, u);
+            spill_write(&spill_path(&scratch, si, qi), &sparse);
+            result.queries_run = qi + 1;
+            if qt > cfg.query_budget {
+                result.excluded = Some(format!(
+                    "query {:.1}s over budget {:.0}s (ran {}/{} queries)",
+                    qt.as_secs_f64(),
+                    cfg.query_budget.as_secs_f64(),
+                    qi + 1,
+                    queries.len()
+                ));
+                break;
+            }
+        }
+        if result.queries_run > 0 {
+            result.avg_query_secs = total.as_secs_f64() / result.queries_run as f64;
+        }
+        result.peak_rss_bytes = peak_rss_bytes();
+        results.push(result);
+        top_lists.push(tops);
+    }
+
+    // Phase 3: pooled ground truth per query.
+    let mut gts = Vec::with_capacity(queries.len());
+    for (qi, &u) in queries.iter().enumerate() {
+        let mut pool: FxHashSet<NodeId> = FxHashSet::default();
+        for tops in &top_lists {
+            pool.extend(tops[qi].iter().copied());
+        }
+        let gt = pooled_ground_truth(
+            g,
+            dataset,
+            u,
+            &pool,
+            cfg.k,
+            cfg.gt_samples,
+            cfg.query_seed ^ 0x6715,
+            cfg.gt_threads,
+            cfg.gt_cache_dir.as_deref(),
+        );
+        gts.push(gt);
+    }
+
+    // Phase 4: metrics from the spilled vectors.
+    for (si, result) in results.iter_mut().enumerate() {
+        if result.queries_run == 0 {
+            continue;
+        }
+        let mut err_sum = 0.0;
+        let mut prec_sum = 0.0;
+        for qi in 0..result.queries_run {
+            let sparse = spill_read(&spill_path(&scratch, si, qi));
+            let estimates: FxHashMap<NodeId, f64> = sparse.iter().copied().collect();
+            let gt = &gts[qi];
+            err_sum += avg_error_at_k(&gt.top_k, &estimates);
+            let truth_ids: Vec<NodeId> = gt.top_k.iter().map(|&(v, _)| v).collect();
+            prec_sum += precision_at_k(&truth_ids, &top_lists[si][qi], cfg.k.min(truth_ids.len()));
+        }
+        result.avg_error = err_sum / result.queries_run as f64;
+        result.precision = prec_sum / result.queries_run as f64;
+    }
+
+    std::fs::remove_dir_all(&scratch).ok();
+    results
+}
+
+fn sparsify(scores: &[f64]) -> Vec<(NodeId, f64)> {
+    scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(v, &s)| (v as NodeId, s))
+        .collect()
+}
+
+fn spill_path(dir: &Path, si: usize, qi: usize) -> PathBuf {
+    dir.join(format!("s{si}_q{qi}.bin"))
+}
+
+fn spill_write(path: &Path, entries: &[(NodeId, f64)]) {
+    let mut buf = Vec::with_capacity(8 + entries.len() * 12);
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for &(v, s) in entries {
+        buf.extend_from_slice(&v.to_le_bytes());
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    if let Ok(mut f) = std::fs::File::create(path) {
+        let _ = f.write_all(&buf);
+    }
+}
+
+fn spill_read(path: &Path) -> Vec<(NodeId, f64)> {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return Vec::new();
+    };
+    let mut buf = Vec::new();
+    if f.read_to_end(&mut buf).is_err() || buf.len() < 8 {
+        return Vec::new();
+    }
+    let count = u64::from_le_bytes(buf[0..8].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 8;
+    for _ in 0..count {
+        if off + 12 > buf.len() {
+            break;
+        }
+        let v = NodeId::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        let s = f64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap());
+        out.push((v, s));
+        off += 12;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{method_grid, MethodFamily};
+
+    fn tiny_cfg(tag: &str) -> ExperimentConfig {
+        let base = std::env::temp_dir().join(format!("simrank-run-{}-{tag}", std::process::id()));
+        ExperimentConfig {
+            k: 10,
+            num_queries: 2,
+            gt_samples: 20_000,
+            gt_threads: 2,
+            scratch_dir: base.join("scratch"),
+            gt_cache_dir: None,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn spill_round_trip() {
+        let dir = std::env::temp_dir().join(format!("simrank-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = spill_path(&dir, 1, 2);
+        let entries = vec![(3 as NodeId, 0.25), (9, 0.5)];
+        spill_write(&path, &entries);
+        assert_eq!(spill_read(&path), entries);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runner_produces_sane_metrics_on_small_graph() {
+        let g = simrank_graph::gen::copying_web(800, 5, 0.7, 3);
+        let settings = vec![
+            method_grid(MethodFamily::SimPush)[1].clone(),
+            method_grid(MethodFamily::TopSim)[2].clone(),
+        ];
+        let results = run_dataset("runner-test", &g, &settings, &tiny_cfg("sane"));
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.excluded.is_none(), "{}: {:?}", r.label, r.excluded);
+            assert_eq!(r.queries_run, 2);
+            assert!(r.avg_query_secs > 0.0);
+            assert!((0.0..=1.0).contains(&r.precision), "{}", r.precision);
+            assert!(r.avg_error >= 0.0 && r.avg_error < 0.5, "{}", r.avg_error);
+            assert!(r.graph_bytes > 0);
+        }
+        // SimPush at ε=0.02 should beat TopSim's truncated estimate on error.
+        assert!(results[0].avg_error <= results[1].avg_error + 0.02);
+    }
+
+    #[test]
+    fn preprocess_budget_excludes_slow_builds() {
+        let g = simrank_graph::gen::gnm(500, 3000, 1);
+        let settings = vec![method_grid(MethodFamily::Sling)[4].clone()];
+        let cfg = ExperimentConfig {
+            preprocess_budget: Duration::from_nanos(1),
+            ..tiny_cfg("budget")
+        };
+        let results = run_dataset("runner-budget", &g, &settings, &cfg);
+        assert!(results[0].excluded.is_some());
+        assert_eq!(results[0].queries_run, 0);
+    }
+}

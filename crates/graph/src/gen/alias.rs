@@ -1,0 +1,152 @@
+//! Vose alias method for O(1) sampling from a fixed discrete distribution.
+//!
+//! Used by the Chung-Lu generator (endpoint sampling proportional to target
+//! weights) and available to any other component needing weighted node
+//! sampling.
+
+use rand::Rng;
+
+/// Precomputed alias table over indices `0..len`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        // Vose's pairing loop: each under-full bucket borrows from an
+        // over-full one.
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining buckets are exactly full up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never: `new` panics on empty
+    /// input), provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Samples an index in O(1).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 4]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expectation() {
+        let t = AliasTable::new(&[8.0, 1.0, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 3];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.8).abs() < 0.02, "frequency of heavy item {f0}");
+    }
+
+    #[test]
+    fn zero_weight_items_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+}

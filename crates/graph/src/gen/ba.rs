@@ -1,0 +1,104 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::NodeId;
+
+/// Barabási–Albert graph: nodes arrive one at a time and attach `k` edges to
+/// existing nodes with probability proportional to their current degree.
+///
+/// Edges are directed from the new node to its chosen targets (citation
+/// style), which yields power-law **in**-degrees — the regime that stresses
+/// √c-walk branching. Pass the result through
+/// [`GraphBuilder::symmetrize`](crate::GraphBuilder::symmetrize)-style
+/// post-processing (or use `symmetrize = true`) for a social-network-style
+/// undirected variant.
+pub fn barabasi_albert(n: usize, k: usize, symmetrize: bool, seed: u64) -> CsrGraph {
+    assert!(k >= 1, "attachment degree must be positive");
+    assert!(n > k, "need more nodes than the attachment degree");
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Repeated-endpoints list: sampling a uniform element is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * k);
+    let mut builder = GraphBuilder::new().with_num_nodes(n);
+    if symmetrize {
+        builder = builder.symmetrize();
+    }
+
+    // Seed clique over the first k+1 nodes so every early node has degree.
+    for s in 0..=(k as NodeId) {
+        for t in 0..=(k as NodeId) {
+            if s < t {
+                builder.add_edge(s, t);
+                endpoints.push(s);
+                endpoints.push(t);
+            }
+        }
+    }
+
+    for v in (k + 1)..n {
+        let v = v as NodeId;
+        let mut chosen = simrank_common::FxHashSet::default();
+        while chosen.len() < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v {
+                chosen.insert(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = 200;
+        let k = 3;
+        let g = barabasi_albert(n, k, false, 11);
+        assert_eq!(g.num_nodes(), n);
+        // clique edges + k per subsequent node
+        let want = k * (k + 1) / 2 + (n - k - 1) * k;
+        assert_eq!(g.num_edges(), want);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn symmetrized_has_doubled_edges() {
+        let g = barabasi_albert(100, 2, true, 5);
+        assert_eq!(g.num_edges() % 2, 0);
+        for (s, t) in g.edges() {
+            assert!(g.has_edge(t, s), "missing reverse of ({s},{t})");
+        }
+    }
+
+    #[test]
+    fn in_degrees_are_skewed() {
+        let g = barabasi_albert(2000, 3, false, 42);
+        let max_in = g.max_in_degree();
+        let avg_in = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            max_in as f64 > 8.0 * avg_in,
+            "preferential attachment should create hubs (max {max_in}, avg {avg_in})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            barabasi_albert(100, 2, false, 9),
+            barabasi_albert(100, 2, false, 9)
+        );
+    }
+}

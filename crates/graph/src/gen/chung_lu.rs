@@ -1,0 +1,131 @@
+//! Chung-Lu fixed-expected-degree power-law graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::gen::alias::AliasTable;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simrank_common::NodeId;
+
+/// Power-law weight sequence `w_i ∝ (i+1)^{-1/(γ-1)}` scaled to a mean of
+/// `avg`, the standard Chung-Lu construction for exponent `γ`.
+fn powerlaw_weights(n: usize, exponent: f64, avg: f64) -> Vec<f64> {
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    let alpha = 1.0 / (exponent - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let sum: f64 = w.iter().sum();
+    let scale = avg * n as f64 / sum;
+    for x in &mut w {
+        *x *= scale;
+    }
+    w
+}
+
+/// Directed Chung-Lu graph: `m` edges whose sources follow one power-law
+/// weight sequence and targets an independently shuffled one, giving
+/// heavy-tailed in- and out-degrees with exponent `γ`.
+pub fn chung_lu_directed(n: usize, m: usize, exponent: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let out_w = powerlaw_weights(n, exponent, 1.0);
+    // Decouple in- and out-ranks so hubs-in and hubs-out are different nodes
+    // (as in real web graphs): rotate the weight ranks by n/3.
+    let in_w: Vec<f64> = (0..n).map(|i| out_w[(i + n / 3) % n]).collect();
+    let src_table = AliasTable::new(&out_w);
+    let dst_table = AliasTable::new(&in_w);
+
+    let mut seen = simrank_common::hash::fx_set_with_capacity::<(NodeId, NodeId)>(m * 2);
+    let mut builder = GraphBuilder::new().with_num_nodes(n);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(10_000);
+    while seen.len() < m {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "edge sampling failed to place {m} distinct edges (graph too dense for weights)"
+        );
+        let s = src_table.sample(&mut rng) as NodeId;
+        let t = dst_table.sample(&mut rng) as NodeId;
+        if s != t && seen.insert((s, t)) {
+            builder.add_edge(s, t);
+        }
+    }
+    builder.build()
+}
+
+/// Undirected (symmetrised) Chung-Lu graph with `m_pairs` undirected edges —
+/// the stand-in for collaboration/friendship networks (DBLP, Friendster).
+/// The returned graph has `2·m_pairs` directed edges.
+pub fn chung_lu_undirected(n: usize, m_pairs: usize, exponent: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let w = powerlaw_weights(n, exponent, 1.0);
+    let table = AliasTable::new(&w);
+    let mut seen = simrank_common::hash::fx_set_with_capacity::<(NodeId, NodeId)>(m_pairs * 2);
+    let mut builder = GraphBuilder::new().with_num_nodes(n).symmetrize();
+    let mut attempts = 0usize;
+    let max_attempts = m_pairs.saturating_mul(50).max(10_000);
+    while seen.len() < m_pairs {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "edge sampling failed to place {m_pairs} distinct pairs"
+        );
+        let a = table.sample(&mut rng) as NodeId;
+        let b = table.sample(&mut rng) as NodeId;
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            builder.add_edge(a, b);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn directed_counts_and_validity() {
+        let g = chung_lu_directed(500, 2500, 2.5, 3);
+        assert_eq!(g.num_nodes(), 500);
+        assert_eq!(g.num_edges(), 2500);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn undirected_is_symmetric() {
+        let g = chung_lu_undirected(300, 900, 2.5, 4);
+        assert_eq!(g.num_edges(), 1800);
+        for (s, t) in g.edges() {
+            assert!(g.has_edge(t, s));
+        }
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let g = chung_lu_directed(3000, 15_000, 2.1, 9);
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            g.max_in_degree() as f64 > 10.0 * avg,
+            "expected in-degree hubs: max {} avg {avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn weights_scale_to_requested_average() {
+        let w = powerlaw_weights(1000, 2.5, 3.0);
+        let avg = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((avg - 3.0).abs() < 1e-9);
+        assert!(w[0] > w[999], "weights must be decreasing");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            chung_lu_directed(200, 800, 2.5, 5),
+            chung_lu_directed(200, 800, 2.5, 5)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Copying-model web-graph generator (Kleinberg et al. 1999).
+//!
+//! Each arriving page picks a random *prototype* page and, for each of its
+//! `k` out-links, copies one of the prototype's links with probability
+//! `copy_prob` or links to a uniformly random earlier page otherwise. This
+//! yields power-law in-degrees *and* many shared-neighbour pairs (pages
+//! copying the same prototype), which is exactly the local density that
+//! makes SimRank estimation interesting on web crawls — our stand-in for
+//! In-2004 / IT-2004 / UK / ClueWeb.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::NodeId;
+
+/// Generates a copying-model web graph with `n` pages and `k` out-links per
+/// page (edge count ≈ `n·k` before deduplication).
+pub fn copying_web(n: usize, k: usize, copy_prob: f64, seed: u64) -> CsrGraph {
+    assert!(n > k + 1, "need more pages than links per page");
+    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new().with_num_nodes(n);
+
+    // Seed nucleus: a small cycle so early prototypes have out-links.
+    let nucleus = (k + 1).max(3);
+    let mut outs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for v in 0..nucleus {
+        let t = ((v + 1) % nucleus) as NodeId;
+        builder.add_edge(v as NodeId, t);
+        outs[v].push(t);
+    }
+
+    for v in nucleus..n {
+        let proto = rng.gen_range(0..v);
+        let proto_links = outs[proto].clone();
+        let mut links: Vec<NodeId> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let t = if !proto_links.is_empty() && rng.gen::<f64>() < copy_prob {
+                proto_links[rng.gen_range(0..proto_links.len())]
+            } else {
+                rng.gen_range(0..v) as NodeId
+            };
+            if t != v as NodeId {
+                links.push(t);
+            }
+        }
+        links.sort_unstable();
+        links.dedup();
+        for &t in &links {
+            builder.add_edge(v as NodeId, t);
+        }
+        outs[v] = links;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn basic_shape() {
+        let g = copying_web(1000, 5, 0.7, 1);
+        assert_eq!(g.num_nodes(), 1000);
+        assert!(g.num_edges() > 3000, "m = {}", g.num_edges());
+        assert!(g.num_edges() <= 5 * 1000 + 10);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn in_degrees_heavy_tailed() {
+        let g = copying_web(5000, 5, 0.8, 2);
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            g.max_in_degree() as f64 > 15.0 * avg,
+            "copying should concentrate in-links: max {} avg {avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn shared_in_neighbours_are_common() {
+        // The SimRank-relevant property: many node pairs share in-neighbours.
+        let g = copying_web(2000, 5, 0.8, 3);
+        let mut pairs_with_shared = 0usize;
+        let mut checked = 0usize;
+        for v in 0..200 as NodeId {
+            for w in (v + 1)..200 {
+                checked += 1;
+                let (a, b) = (g.in_neighbors(v), g.in_neighbors(w));
+                let mut i = 0;
+                let mut j = 0;
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            pairs_with_shared += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            pairs_with_shared * 100 > checked,
+            "expected >1% of early pairs to share an in-neighbour ({pairs_with_shared}/{checked})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(copying_web(500, 4, 0.7, 9), copying_web(500, 4, 0.7, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_copy_prob() {
+        copying_web(100, 3, 1.5, 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Erdős–Rényi G(n, m) generator.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::NodeId;
+
+/// Directed G(n, m): `m` distinct directed edges chosen uniformly among the
+/// `n·(n−1)` non-loop pairs.
+///
+/// Sampling is rejection-based, which is fast while `m` is well below the
+/// maximum; the function panics if `m` exceeds `n·(n−1)` (impossible to
+/// satisfy).
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two nodes to place edges");
+    let max_m = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_m, "requested {m} edges but only {max_m} possible");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = simrank_common::hash::fx_set_with_capacity::<(NodeId, NodeId)>(m * 2);
+    let mut builder = GraphBuilder::new().with_num_nodes(n);
+    while seen.len() < m {
+        let s = rng.gen_range(0..n) as NodeId;
+        let t = rng.gen_range(0..n) as NodeId;
+        if s != t && seen.insert((s, t)) {
+            builder.add_edge(s, t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn produces_exact_edge_count() {
+        let g = gnm(100, 500, 7);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 500);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(gnm(50, 200, 1), gnm(50, 200, 1));
+        assert_ne!(gnm(50, 200, 1), gnm(50, 200, 2));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnm(20, 100, 3);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn zero_edges_and_dense_extremes() {
+        assert_eq!(gnm(10, 0, 1).num_edges(), 0);
+        let full = gnm(5, 20, 1); // complete digraph
+        assert_eq!(full.num_edges(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn rejects_impossible_m() {
+        gnm(3, 7, 1);
+    }
+}

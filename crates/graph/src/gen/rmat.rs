@@ -1,0 +1,134 @@
+//! R-MAT recursive-matrix generator (Chakrabarti, Zhan & Faloutsos 2004).
+//!
+//! R-MAT reproduces the skewed, community-laden structure of social graphs;
+//! with a high `a` quadrant weight it also produces the "locally dense"
+//! structure the paper singles out as the hard case on Twitter (§5.2).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::NodeId;
+
+/// Quadrant probabilities for R-MAT (must sum to ~1).
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant weight (self-community mass; higher = denser hubs).
+    pub a: f64,
+    /// Top-right quadrant weight.
+    pub b: f64,
+    /// Bottom-left quadrant weight.
+    pub c: f64,
+    /// Bottom-right quadrant weight.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The classic social-network parameterisation (a=0.57, b=c=0.19).
+    pub fn social() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
+    }
+
+    /// A high-skew parameterisation approximating Twitter-like local
+    /// density.
+    pub fn high_skew() -> Self {
+        Self {
+            a: 0.65,
+            b: 0.15,
+            c: 0.15,
+            d: 0.05,
+        }
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` nodes and `m` distinct directed
+/// edges (self loops dropped).
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    let sum = params.a + params.b + params.c + params.d;
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "quadrant probabilities must sum to 1 (got {sum})"
+    );
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen = simrank_common::hash::fx_set_with_capacity::<(NodeId, NodeId)>(m * 2);
+    let mut builder = GraphBuilder::new().with_num_nodes(n);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(100).max(10_000);
+    while seen.len() < m {
+        attempts += 1;
+        assert!(attempts <= max_attempts, "R-MAT failed to place {m} distinct edges");
+        let (mut s, mut t) = (0usize, 0usize);
+        for _ in 0..scale {
+            s <<= 1;
+            t <<= 1;
+            let r: f64 = rng.gen();
+            if r < params.a {
+                // top-left: no bits set
+            } else if r < params.a + params.b {
+                t |= 1;
+            } else if r < params.a + params.b + params.c {
+                s |= 1;
+            } else {
+                s |= 1;
+                t |= 1;
+            }
+        }
+        let (s, t) = (s as NodeId, t as NodeId);
+        if s != t && seen.insert((s, t)) {
+            builder.add_edge(s, t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphView;
+
+    #[test]
+    fn counts_and_validity() {
+        let g = rmat(10, 5000, RmatParams::social(), 1);
+        assert_eq!(g.num_nodes(), 1024);
+        assert_eq!(g.num_edges(), 5000);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        let g = rmat(12, 40_000, RmatParams::high_skew(), 2);
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            g.max_in_degree() as f64 > 10.0 * avg,
+            "max in-degree {} vs avg {avg}",
+            g.max_in_degree()
+        );
+    }
+
+    #[test]
+    fn low_id_nodes_are_denser_under_a_skew() {
+        let g = rmat(12, 40_000, RmatParams::high_skew(), 3);
+        let n = g.num_nodes();
+        let head: usize = (0..n / 8).map(|v| g.out_degree(v as NodeId)).sum();
+        let tail: usize = (7 * n / 8..n).map(|v| g.out_degree(v as NodeId)).sum();
+        assert!(head > 3 * tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RmatParams::social();
+        assert_eq!(rmat(8, 1000, p, 7), rmat(8, 1000, p, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        rmat(4, 10, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Graph IO: SNAP-style edge-list text and a compact binary snapshot format.
+//!
+//! The binary format is what the dataset registry caches to disk so that
+//! multi-minute benchmark sessions don't regenerate graphs. Layout (all
+//! little-endian):
+//!
+//! ```text
+//! magic   b"SRG1"           4 bytes
+//! n       u64
+//! m       u64
+//! offsets (n+1) × u64       CSR out-offsets
+//! targets m × u32           CSR out-targets
+//! ```
+//!
+//! The in-adjacency is rebuilt on load (O(m), cheaper than doubling the
+//! file).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::view::GraphView;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use simrank_common::NodeId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SRG1";
+
+/// Error type for graph IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// The input did not parse as the expected format.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses a whitespace-separated edge list (`src dst` per line, `#`/`%`
+/// comments and blank lines ignored) into a builder so callers can apply
+/// their own normalisation policy.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<GraphBuilder, IoError> {
+    let mut builder = GraphBuilder::new();
+    let reader = BufReader::new(reader);
+    // Reuse one line buffer to avoid per-line allocation (perf-book: reading
+    // lines from a file).
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(IoError::Format(format!("line {lineno}: expected two ids")));
+        };
+        let s: NodeId = a
+            .parse()
+            .map_err(|_| IoError::Format(format!("line {lineno}: bad id {a:?}")))?;
+        let t: NodeId = b
+            .parse()
+            .map_err(|_| IoError::Format(format!("line {lineno}: bad id {b:?}")))?;
+        builder.add_edge(s, t);
+    }
+    Ok(builder)
+}
+
+/// Reads an edge-list file from `path` (see [`read_edge_list`]).
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<GraphBuilder, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes the graph as a plain edge list.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", g.num_nodes(), g.num_edges())?;
+    for (s, t) in g.edges() {
+        writeln!(w, "{s} {t}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialises the graph into the compact binary snapshot format.
+pub fn to_binary(g: &CsrGraph) -> Bytes {
+    let (offsets, targets) = g.raw_out();
+    let mut buf = BytesMut::with_capacity(4 + 16 + offsets.len() * 8 + targets.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for &o in offsets {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in targets {
+        buf.put_u32_le(t);
+    }
+    buf.freeze()
+}
+
+/// Deserialises a graph from the binary snapshot format, validating the
+/// structural invariants.
+pub fn from_binary(mut data: Bytes) -> Result<CsrGraph, IoError> {
+    if data.remaining() < 20 {
+        return Err(IoError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Format(format!("bad magic {magic:?}")));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    let need = (n + 1) * 8 + m * 4;
+    if data.remaining() != need {
+        return Err(IoError::Format(format!(
+            "payload size {} does not match n={n}, m={m}",
+            data.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le() as usize);
+    }
+    if offsets[0] != 0 || offsets[n] != m || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(IoError::Format("corrupt offsets".into()));
+    }
+    let mut edges = Vec::with_capacity(m);
+    for s in 0..n {
+        for _ in offsets[s]..offsets[s + 1] {
+            let t = data.get_u32_le();
+            if t as usize >= n {
+                return Err(IoError::Format(format!("target {t} out of range")));
+            }
+            edges.push((s as NodeId, t));
+        }
+    }
+    // The writer emits sorted lists; verify rather than trust.
+    if edges.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(IoError::Format("edge list not sorted/unique".into()));
+    }
+    Ok(CsrGraph::from_sorted_edges(n, &edges))
+}
+
+/// Writes the binary snapshot to a file.
+pub fn save_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), IoError> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_binary(g))?;
+    Ok(())
+}
+
+/// Loads a binary snapshot from a file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<CsrGraph, IoError> {
+    let data = std::fs::read(path)?;
+    from_binary(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::shapes;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = shapes::jeh_widom();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap().build();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = "# comment\n% other comment\n\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap().build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_reports_bad_lines() {
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        let err = read_edge_list("a b\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad id"));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = crate::gen::gnm(200, 1000, 5);
+        let bytes = to_binary(&g);
+        let back = from_binary(bytes).unwrap();
+        assert_eq!(back, g);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = shapes::cycle(4);
+        let bytes = to_binary(&g);
+
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] = b'X';
+        assert!(from_binary(Bytes::from(bad_magic)).is_err());
+
+        let truncated = bytes.slice(0..bytes.len() - 2);
+        assert!(from_binary(truncated).is_err());
+
+        let mut bad_target = bytes.to_vec();
+        let len = bad_target.len();
+        bad_target[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(from_binary(Bytes::from(bad_target)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("simrank-io-test");
+        let path = dir.join("g.bin");
+        let g = shapes::grid(3, 3);
+        save_binary(&g, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(back, g);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(from_binary(to_binary(&g)).unwrap(), g);
+    }
+}

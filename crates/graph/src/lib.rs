@@ -1,0 +1,37 @@
+//! Directed-graph substrate for the SimPush workspace.
+//!
+//! The paper's algorithms are all neighbourhood-walk and residue-push
+//! procedures over a *static snapshot* of a directed graph, while its
+//! motivating scenario is a graph that "can change frequently and
+//! unpredictably". This crate serves both:
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row snapshot with both
+//!   out- and in-adjacency, the representation every algorithm queries.
+//! * [`MutableGraph`] — an adjacency-list graph supporting edge insertion
+//!   and deletion in place. Index-free methods (SimPush, ProbeSim) run on it
+//!   directly through the [`GraphView`] trait; index-based baselines cannot,
+//!   which is exactly the paper's point.
+//! * [`GraphBuilder`] — edge accumulation with deduplication, self-loop
+//!   policy and undirected symmetrisation (paper §2.1 converts undirected
+//!   inputs to edge pairs).
+//! * [`gen`] — deterministic synthetic generators standing in for the
+//!   paper's nine datasets (see `DESIGN.md` §4).
+//! * [`io`] — whitespace edge-list text format (SNAP-style, `#` comments)
+//!   and a compact binary snapshot format for dataset caching.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod mutable;
+pub mod stats;
+pub mod view;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use mutable::MutableGraph;
+pub use simrank_common::NodeId;
+pub use stats::GraphStats;
+pub use view::GraphView;

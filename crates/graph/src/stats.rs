@@ -1,0 +1,131 @@
+//! Descriptive statistics for graphs (paper Table 4 reproduction).
+
+use crate::view::GraphView;
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Average degree `m / n` (0 for the empty graph).
+    pub avg_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of nodes with no in-neighbours (√c-walks from these stop
+    /// immediately).
+    pub sources: usize,
+    /// Number of nodes with no out-neighbours.
+    pub sinks: usize,
+    /// Fraction of edges whose reverse edge also exists (1.0 for undirected
+    /// inputs converted per the paper's §2.1).
+    pub reciprocity: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g` in `O(n + m log d)`.
+    pub fn compute<G: GraphView>(g: &G) -> Self {
+        let n = g.num_nodes();
+        let m = g.num_edges();
+        let mut max_in = 0usize;
+        let mut max_out = 0usize;
+        let mut sources = 0usize;
+        let mut sinks = 0usize;
+        let mut reciprocal = 0usize;
+        for v in g.nodes() {
+            let din = g.in_degree(v);
+            let dout = g.out_degree(v);
+            max_in = max_in.max(din);
+            max_out = max_out.max(dout);
+            if din == 0 {
+                sources += 1;
+            }
+            if dout == 0 {
+                sinks += 1;
+            }
+            for &t in g.out_neighbors(v) {
+                if g.out_neighbors(t).binary_search(&v).is_ok() {
+                    reciprocal += 1;
+                }
+            }
+        }
+        Self {
+            nodes: n,
+            edges: m,
+            avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            sources,
+            sinks,
+            reciprocity: if m == 0 { 0.0 } else { reciprocal as f64 / m as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} avg_deg={:.2} max_in={} max_out={} sources={} sinks={} reciprocity={:.2}",
+            self.nodes,
+            self.edges,
+            self.avg_degree,
+            self.max_in_degree,
+            self.max_out_degree,
+            self.sources,
+            self.sinks,
+            self.reciprocity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::shapes;
+
+    #[test]
+    fn path_stats() {
+        let s = GraphStats::compute(&shapes::path(4));
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.sinks, 1);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn grid_is_fully_reciprocal() {
+        let s = GraphStats::compute(&shapes::grid(3, 3));
+        assert_eq!(s.reciprocity, 1.0);
+        assert_eq!(s.sources, 0);
+        assert_eq!(s.sinks, 0);
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = GraphStats::compute(&shapes::star_in(11));
+        assert_eq!(s.max_in_degree, 10);
+        assert_eq!(s.max_out_degree, 1);
+        assert_eq!(s.sources, 10);
+        assert_eq!(s.sinks, 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::compute(&crate::CsrGraph::empty(0));
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = GraphStats::compute(&shapes::cycle(3));
+        let txt = s.to_string();
+        assert!(txt.contains("n=3") && txt.contains("m=3"), "{txt}");
+    }
+}

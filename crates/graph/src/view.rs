@@ -1,0 +1,82 @@
+//! The [`GraphView`] trait: the read interface every SimRank algorithm uses.
+
+use simrank_common::NodeId;
+
+/// Read-only view of a directed graph with contiguous node ids `0..n`.
+///
+/// All algorithms in the workspace are written against this trait so that
+/// index-free methods can run on both frozen [`CsrGraph`](crate::CsrGraph)
+/// snapshots and live [`MutableGraph`](crate::MutableGraph)s without
+/// conversion — the operational advantage the paper's introduction argues
+/// for.
+pub trait GraphView {
+    /// Number of nodes `n`; valid ids are `0..n`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of directed edges `m`.
+    fn num_edges(&self) -> usize;
+
+    /// Out-neighbours of `v` (targets of edges leaving `v`), as a slice.
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// In-neighbours of `v` (sources of edges entering `v`), as a slice.
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Out-degree of `v`.
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v` — `d_I(v)` in the paper's notation, the denominator
+    /// of every √c-walk transition and push increment.
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Iterator over all node ids.
+    fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+}
+
+impl<G: GraphView + ?Sized> GraphView for &G {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        (**self).out_neighbors(v)
+    }
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        (**self).in_neighbors(v)
+    }
+    fn out_degree(&self, v: NodeId) -> usize {
+        (**self).out_degree(v)
+    }
+    fn in_degree(&self, v: NodeId) -> usize {
+        (**self).in_degree(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn blanket_ref_impl_delegates() {
+        let g = GraphBuilder::new().with_edges([(0, 1), (1, 2)]).build();
+        let r = &&g; // &&CsrGraph is itself a GraphView
+        assert_eq!(r.num_nodes(), 3);
+        assert_eq!(r.num_edges(), 2);
+        assert_eq!(r.out_neighbors(0), &[1]);
+        assert_eq!(r.in_neighbors(2), &[1]);
+        assert_eq!(r.in_degree(1), 1);
+        assert_eq!(r.out_degree(1), 1);
+        assert_eq!(r.nodes().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Core √c-walk stepping and level-visit counting.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::{FxHashMap, NodeId};
+use simrank_graph::GraphView;
+
+/// Walk parameters derived from the SimRank decay factor `c`.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkParams {
+    /// Decay factor `c ∈ (0, 1)` (the paper fixes 0.6).
+    pub c: f64,
+    /// Continuation probability `√c` per step.
+    pub sqrt_c: f64,
+}
+
+impl WalkParams {
+    /// Creates parameters for decay factor `c`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < c < 1`.
+    pub fn new(c: f64) -> Self {
+        assert!(c > 0.0 && c < 1.0, "decay factor must lie in (0,1), got {c}");
+        Self { c, sqrt_c: c.sqrt() }
+    }
+}
+
+impl Default for WalkParams {
+    /// The paper's standard setting `c = 0.6`.
+    fn default() -> Self {
+        Self::new(0.6)
+    }
+}
+
+/// Performs one √c-walk transition from `node`.
+///
+/// Returns `None` when the walk terminates — by the `1 − √c` stop coin or
+/// because `node` has no in-neighbours (a walk at a source node has nowhere
+/// to go; SimRank gives such nodes zero similarity mass beyond themselves).
+#[inline]
+pub fn step_walk<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    node: NodeId,
+    sqrt_c: f64,
+    rng: &mut R,
+) -> Option<NodeId> {
+    if rng.gen::<f64>() >= sqrt_c {
+        return None;
+    }
+    let ins = g.in_neighbors(node);
+    if ins.is_empty() {
+        return None;
+    }
+    Some(ins[rng.gen_range(0..ins.len())])
+}
+
+/// Samples a full √c-walk from `start`, truncated after `max_steps`
+/// transitions. The returned positions include `start` at index 0, so the
+/// node at index `ℓ` is the walk's position at step `ℓ`.
+pub fn sample_walk<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    start: NodeId,
+    params: WalkParams,
+    max_steps: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(8);
+    walk.push(start);
+    let mut cur = start;
+    while walk.len() <= max_steps {
+        match step_walk(g, cur, params.sqrt_c, rng) {
+            Some(next) => {
+                walk.push(next);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    walk
+}
+
+/// Per-level visit counters `H^(ℓ)(u, v)` over a batch of √c-walks — the
+/// statistic Source-Push (paper Algorithm 2, lines 1–8) uses to detect the
+/// maximum attention level `L`.
+#[derive(Debug, Clone, Default)]
+pub struct LevelVisits {
+    /// `levels[ℓ][v]` = number of sampled walks that were at `v` at step `ℓ`
+    /// (level 0 is excluded: it is always the start node).
+    pub levels: Vec<FxHashMap<NodeId, u32>>,
+    /// Number of walks sampled.
+    pub num_walks: usize,
+}
+
+impl LevelVisits {
+    /// Samples `num_walks` √c-walks from `start` (each truncated at
+    /// `max_level` steps) and tallies per-level visits.
+    pub fn sample<G: GraphView>(
+        g: &G,
+        start: NodeId,
+        params: WalkParams,
+        num_walks: usize,
+        max_level: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut levels: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); max_level];
+        for _ in 0..num_walks {
+            let mut cur = start;
+            for level in levels.iter_mut() {
+                match step_walk(g, cur, params.sqrt_c, &mut rng) {
+                    Some(next) => {
+                        *level.entry(next).or_insert(0) += 1;
+                        cur = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Self { levels, num_walks }
+    }
+
+    /// Deepest level (1-based) on which some node was visited at least
+    /// `threshold` times; 0 when no level qualifies.
+    pub fn deepest_level_with_count(&self, threshold: u32) -> usize {
+        for (idx, level) in self.levels.iter().enumerate().rev() {
+            if level.values().any(|&cnt| cnt >= threshold) {
+                return idx + 1;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrank_graph::gen::shapes;
+
+    #[test]
+    fn walk_params_validation() {
+        let p = WalkParams::new(0.6);
+        assert!((p.sqrt_c - 0.6f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn rejects_bad_decay() {
+        WalkParams::new(1.5);
+    }
+
+    #[test]
+    fn walk_stops_at_source_nodes() {
+        // Path 0→1→2: in-neighbour chains lead back towards 0, which has no
+        // in-neighbours, so no walk can exceed `start` steps.
+        let g = shapes::path(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let w = sample_walk(&g, 2, WalkParams::default(), 50, &mut rng);
+            assert!(w.len() <= 3, "walk {w:?} exceeded the chain length");
+            // Positions must follow in-edges: 2 ← 1 ← 0.
+            for (i, &v) in w.iter().enumerate() {
+                assert_eq!(v as usize, 2 - i);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_truncates_at_max_steps() {
+        let g = shapes::cycle(3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let w = sample_walk(&g, 0, WalkParams::new(0.99), 4, &mut rng);
+            assert!(w.len() <= 5, "start + at most 4 transitions");
+        }
+    }
+
+    #[test]
+    fn continuation_rate_matches_sqrt_c() {
+        // On a cycle every node has an in-neighbour, so termination is purely
+        // the 1−√c coin; mean walk transitions = √c/(1−√c).
+        let g = shapes::cycle(10);
+        let params = WalkParams::new(0.6);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: usize = (0..n)
+            .map(|_| sample_walk(&g, 0, params, 1000, &mut rng).len() - 1)
+            .sum();
+        let mean = total as f64 / n as f64;
+        let expect = params.sqrt_c / (1.0 - params.sqrt_c);
+        assert!(
+            (mean - expect).abs() < 0.05,
+            "mean transitions {mean:.3} vs expected {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn level_visits_count_walk_mass() {
+        // star_in(5): centre 0 has in-neighbours {1,2,3,4}; walks from 0 hit
+        // one of them at step 1 and then stop (leaves have no in-edges).
+        let g = shapes::star_in(5);
+        let params = WalkParams::new(0.6);
+        let visits = LevelVisits::sample(&g, 0, params, 40_000, 5, 7);
+        assert_eq!(visits.num_walks, 40_000);
+        let level1: u32 = visits.levels[0].values().sum();
+        let frac = level1 as f64 / 40_000.0;
+        assert!(
+            (frac - params.sqrt_c).abs() < 0.01,
+            "step-1 survival {frac:.3} vs √c {:.3}",
+            params.sqrt_c
+        );
+        assert!(visits.levels[1].is_empty(), "leaves are sources; no level 2");
+        // Each leaf gets ≈ √c/4 of the walks.
+        for leaf in 1..5 {
+            let cnt = *visits.levels[0].get(&(leaf as NodeId)).unwrap_or(&0);
+            let f = cnt as f64 / 40_000.0;
+            assert!((f - params.sqrt_c / 4.0).abs() < 0.01, "leaf {leaf}: {f:.3}");
+        }
+    }
+
+    #[test]
+    fn deepest_level_detection() {
+        let g = shapes::cycle(4);
+        let visits = LevelVisits::sample(&g, 0, WalkParams::new(0.6), 5000, 8, 9);
+        let deep_all = visits.deepest_level_with_count(1);
+        let deep_heavy = visits.deepest_level_with_count(2000);
+        assert!(deep_all >= deep_heavy);
+        assert!(deep_heavy >= 1, "level 1 holds ~√c of 5000 walks");
+        assert_eq!(visits.deepest_level_with_count(u32::MAX), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = shapes::cycle(6);
+        let a = LevelVisits::sample(&g, 0, WalkParams::default(), 500, 6, 11);
+        let b = LevelVisits::sample(&g, 0, WalkParams::default(), 500, 6, 11);
+        assert_eq!(a.levels, b.levels);
+    }
+}

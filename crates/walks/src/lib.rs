@@ -1,0 +1,23 @@
+//! √c-walk sampling engine.
+//!
+//! A *√c-walk* (paper Definition 2) from node `u` stops at the current node
+//! with probability `1 − √c` and otherwise jumps to a uniformly random
+//! **in**-neighbour. Two independent √c-walks *meet* when they occupy the
+//! same node after the same number of steps, and
+//! `s(u, v) = P[the two walks ever meet]` (paper Eq. 5) — the foundation of
+//! SimPush's sampling stage, of every sampling baseline, and of the
+//! Monte-Carlo ground truth.
+//!
+//! Everything here is deterministic given a seed; parallel sampling derives
+//! per-worker seeds with [`simrank_common::seeds::SeedSequence`] so results
+//! are reproducible regardless of thread count.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pairwise;
+pub mod parallel;
+
+pub use engine::{sample_walk, step_walk, LevelVisits, WalkParams};
+pub use pairwise::{pairwise_simrank_mc, walks_meet};
+pub use parallel::pairwise_simrank_mc_parallel;

@@ -1,0 +1,102 @@
+//! Realtime queries on a mutating graph — the scenario the paper's title
+//! promises ("the underlying graph G is massive, with frequent updates").
+//!
+//! SimPush is index-free, so it queries the live [`MutableGraph`] directly
+//! through the [`GraphView`] trait. An index-based method (SLING) must
+//! rebuild its index after every batch of updates to stay correct; this
+//! example measures both regimes on the same update/query stream.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_updates
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_suite::baselines::{SimRankMethod, Sling};
+use simrank_suite::prelude::*;
+use simpush::{Config, SimPush};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let base = simrank_suite::graph::gen::rmat(
+        14,
+        120_000,
+        simrank_suite::graph::gen::RmatParams::social(),
+        5,
+    );
+    let mut live = MutableGraph::from_csr(&base);
+    let n = live.num_nodes();
+    println!("social graph: {n} nodes, {} edges (live, mutable)", live.num_edges());
+
+    let engine = SimPush::new(Config::new(0.02));
+    let mut rng = SmallRng::seed_from_u64(99);
+    let rounds = 20;
+    let updates_per_round = 50;
+
+    // --- Regime 1: index-free (SimPush on the live graph) ---
+    let mut simpush_query_time = Duration::ZERO;
+    let t_total = Instant::now();
+    for round in 0..rounds {
+        // A burst of edge updates arrives…
+        for _ in 0..updates_per_round {
+            let s = rng.gen_range(0..n) as NodeId;
+            let t = rng.gen_range(0..n) as NodeId;
+            if s != t && !live.insert_edge(s, t) {
+                live.remove_edge(s, t);
+            }
+        }
+        // …and a user query must be answered *now*, on the current graph.
+        let u = rng.gen_range(0..n) as NodeId;
+        let t = Instant::now();
+        let result = engine.query(&live, u);
+        simpush_query_time += t.elapsed();
+        if round == 0 {
+            println!(
+                "round 0 sample: query {u} → top match {:?}",
+                result.top_k(1).first()
+            );
+        }
+    }
+    let simpush_total = t_total.elapsed();
+
+    // --- Regime 2: index-based (SLING must rebuild per round) ---
+    let mut rebuild_time = Duration::ZERO;
+    let mut sling_query_time = Duration::ZERO;
+    let mut rng = SmallRng::seed_from_u64(99); // same update/query stream
+    let rounds_sling = 3; // rebuilds are so slow we only demonstrate a few
+    for _ in 0..rounds_sling {
+        for _ in 0..updates_per_round {
+            let s = rng.gen_range(0..n) as NodeId;
+            let t = rng.gen_range(0..n) as NodeId;
+            if s != t && !live.insert_edge(s, t) {
+                live.remove_edge(s, t);
+            }
+        }
+        let u = rng.gen_range(0..n) as NodeId;
+        let t = Instant::now();
+        let snapshot = live.snapshot(); // index methods need a frozen CSR…
+        let mut sling = Sling::new(0.025, 300, 7);
+        sling.preprocess(&snapshot); // …and a full rebuild to stay correct
+        rebuild_time += t.elapsed();
+        let t = Instant::now();
+        let _ = sling.query(&snapshot, u);
+        sling_query_time += t.elapsed();
+    }
+
+    println!("\n--- {rounds} update rounds ({updates_per_round} edge updates each) ---");
+    println!(
+        "SimPush (index-free) : {:>10.2?} total, {:.2?}/query, zero rebuild",
+        simpush_total,
+        simpush_query_time / rounds
+    );
+    println!(
+        "SLING  (index-based) : {:>10.2?}/round rebuild + {:.2?}/query (shown for {rounds_sling} rounds)",
+        rebuild_time / rounds_sling as u32,
+        sling_query_time / rounds_sling as u32
+    );
+    println!(
+        "\nper-round advantage: SimPush answers in {:.0}ms where SLING needs {:.0}ms of rebuild first",
+        (simpush_query_time / rounds).as_secs_f64() * 1e3,
+        (rebuild_time / rounds_sling as u32).as_secs_f64() * 1e3
+    );
+}

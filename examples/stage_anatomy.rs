@@ -1,0 +1,72 @@
+//! Anatomy of a SimPush query: per-stage timing and structure across error
+//! budgets — a live view of the paper's Table 3 and its §5.2 in-text claims
+//! (small max level `L`, attention nodes in the dozens–hundreds).
+//!
+//! ```sh
+//! cargo run --release --example stage_anatomy
+//! ```
+
+use simrank_suite::prelude::*;
+use simpush::{Config, SimPush};
+
+fn main() {
+    let graph = simrank_suite::graph::gen::rmat(
+        15,
+        400_000,
+        simrank_suite::graph::gen::RmatParams::high_skew(),
+        21,
+    );
+    println!(
+        "twitter-like graph: {} nodes, {} edges\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let queries: [NodeId; 5] = [100, 5_000, 11_111, 20_000, 31_000];
+    println!(
+        "{:>7} {:>6} {:>4} {:>6} {:>9} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "ε", "walks", "L", "|Au|", "|Gu|", "sampling", "push", "hitting", "gamma", "reverse"
+    );
+    for eps in [0.05, 0.02, 0.01, 0.005] {
+        let engine = SimPush::new(Config::new(eps));
+        // Average the structural stats over a few queries.
+        let mut walks = 0usize;
+        let mut level = 0usize;
+        let mut att = 0usize;
+        let mut gu = 0usize;
+        let mut t = [0f64; 5];
+        for &u in &queries {
+            let r = engine.query(&graph, u);
+            let s = &r.stats;
+            walks += s.num_walks;
+            level += s.level;
+            att += s.num_attention;
+            gu += s.gu_total_entries;
+            t[0] += s.time_sampling.as_secs_f64() * 1e3;
+            t[1] += s.time_source_push.as_secs_f64() * 1e3;
+            t[2] += s.time_hitting.as_secs_f64() * 1e3;
+            t[3] += s.time_gamma.as_secs_f64() * 1e3;
+            t[4] += s.time_reverse_push.as_secs_f64() * 1e3;
+        }
+        let q = queries.len();
+        println!(
+            "{:>7} {:>6} {:>4.1} {:>6} {:>9} | {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms",
+            eps,
+            walks / q,
+            level as f64 / q as f64,
+            att / q,
+            gu / q,
+            t[0] / q as f64,
+            t[1] / q as f64,
+            t[2] / q as f64,
+            t[3] / q as f64,
+            t[4] / q as f64,
+        );
+    }
+    println!(
+        "\nReading: L stays small and attention nodes stay in the hundreds even as ε\n\
+         tightens — the structural facts (paper §5.2) that let SimPush skip the rest\n\
+         of the graph. Stage costs shift from sampling-dominated (loose ε) towards\n\
+         push-dominated (tight ε), the Table 3 complexity split."
+    );
+}

@@ -1,0 +1,147 @@
+//! Cross-crate accuracy validation: every method against the exact power
+//! method on shared small graphs, each within its configured error regime.
+
+use simrank_suite::baselines::{
+    power_method, PrSim, ProbeSim, Reads, SimRankMethod, Sling, TopSim, Tsf,
+};
+use simrank_suite::prelude::*;
+use simpush::{Config, SimPush};
+
+/// A small but structurally interesting graph: shared parents, hubs,
+/// multi-level paths and a few cycles.
+fn test_graph(seed: u64) -> CsrGraph {
+    simrank_suite::graph::gen::copying_web(300, 4, 0.7, seed)
+}
+
+fn max_error_vs_exact(scores: &[f64], exact_row: &[f64]) -> f64 {
+    scores
+        .iter()
+        .zip(exact_row)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max)
+}
+
+#[test]
+fn simpush_beats_its_epsilon_budget() {
+    let g = test_graph(1);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let eps = 0.02;
+    let engine = SimPush::new(Config::exact(eps));
+    for u in [0u32, 50, 123, 299] {
+        let result = engine.query(&g, u);
+        let row = exact.single_source(u);
+        for v in 0..g.num_nodes() {
+            if v == u as usize {
+                continue;
+            }
+            let diff = row[v] - result.scores[v];
+            assert!(
+                (-1e-9..=eps + 1e-9).contains(&diff),
+                "u={u} v={v}: one-sided ε bound violated (s={}, s̃={})",
+                row[v],
+                result.scores[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn probesim_within_configured_error() {
+    let g = test_graph(2);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let mut m = ProbeSim::new(0.05, 7);
+    for u in [3u32, 77] {
+        let scores = m.query(&g, u);
+        let err = max_error_vs_exact(&scores, &exact.single_source(u));
+        assert!(err < 0.05, "u={u}: max error {err}");
+    }
+}
+
+#[test]
+fn sling_within_configured_error() {
+    let g = test_graph(3);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let mut m = Sling::new(0.002, 2000, 5);
+    m.preprocess(&g);
+    for u in [9u32, 200] {
+        let scores = m.query(&g, u);
+        let err = max_error_vs_exact(&scores, &exact.single_source(u));
+        assert!(err < 0.06, "u={u}: max error {err}");
+    }
+}
+
+#[test]
+fn prsim_within_configured_error() {
+    let g = test_graph(4);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let mut m = PrSim::new(0.05, 5e-4, 3000, 11);
+    m.preprocess(&g);
+    for u in [15u32, 150] {
+        let scores = m.query(&g, u);
+        let err = max_error_vs_exact(&scores, &exact.single_source(u));
+        assert!(err < 0.08, "u={u}: max error {err}");
+    }
+}
+
+#[test]
+fn reads_within_sampling_noise() {
+    let g = test_graph(5);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let mut m = Reads::new(3000, 12, 13);
+    m.preprocess(&g);
+    let scores = m.query(&g, 42);
+    let err = max_error_vs_exact(&scores, &exact.single_source(42));
+    assert!(err < 0.05, "max error {err}");
+}
+
+#[test]
+fn tsf_is_biased_but_bounded() {
+    let g = test_graph(6);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let mut m = Tsf::new(300, 30, 17);
+    m.preprocess(&g);
+    let scores = m.query(&g, 10);
+    let row = exact.single_source(10);
+    // TSF overestimates; verify it is at least ordered sanely: true top-1
+    // node should receive a high score.
+    let err = max_error_vs_exact(&scores, &row);
+    assert!(err < 0.25, "TSF error should be bounded-ish, got {err}");
+}
+
+#[test]
+fn topsim_truncation_is_visible_but_ranking_helps() {
+    let g = test_graph(7);
+    let exact = power_method(&g, 0.6, 1e-12, 120);
+    let mut m = TopSim::new(3, 1000);
+    let scores = m.query(&g, 21);
+    let row = exact.single_source(21);
+    let err = max_error_vs_exact(&scores, &row);
+    assert!(err < 0.3, "TopSim error {err}");
+}
+
+#[test]
+fn all_methods_agree_on_the_top_result_of_an_easy_query() {
+    // shared_parents-style planted similarity: node pairs (0,1) strongly
+    // similar. Every method must rank node 1 first for query 0.
+    let g = GraphBuilder::new()
+        .with_num_nodes(40)
+        .with_edges((2..22).flat_map(|p| [(p, 0), (p, 1)]))
+        .with_edges((22..40).map(|p| (p, p - 20)))
+        .build();
+
+    let mut methods: Vec<Box<dyn SimRankMethod>> = vec![
+        Box::new(simrank_suite::eval::methods::SimPushMethod::new(Config::new(0.01))),
+        Box::new(ProbeSim::new(0.05, 1)),
+        Box::new(TopSim::new(3, 1000)),
+        Box::new(Sling::new(0.005, 1500, 2)),
+        Box::new(PrSim::new(0.05, 1e-3, 1500, 3)),
+        Box::new(Reads::new(1500, 8, 4)),
+        Box::new(Tsf::new(200, 20, 5)),
+    ];
+    for m in &mut methods {
+        m.preprocess(&g);
+        let scores = m.query(&g, 0);
+        let top = simrank_suite::eval::metrics::top_k_nodes(&scores, 1, 0);
+        assert_eq!(top, vec![1], "{} misranked the planted pair", m.name());
+    }
+}

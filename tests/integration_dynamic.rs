@@ -1,0 +1,81 @@
+//! The dynamic-graph story: index-free methods answer on the live graph,
+//! index-based answers go stale.
+
+use simrank_suite::baselines::{SimRankMethod, Sling};
+use simrank_suite::prelude::*;
+use simpush::{Config, SimPush};
+
+#[test]
+fn simpush_results_identical_on_mutable_and_csr_views() {
+    let csr = simrank_suite::graph::gen::gnm(400, 2400, 9);
+    let live = MutableGraph::from_csr(&csr);
+    let engine = SimPush::new(Config::new(0.01));
+    for u in [0u32, 99, 250] {
+        let a = engine.query(&csr, u);
+        let b = engine.query(&live, u);
+        assert_eq!(a.scores, b.scores, "u={u}: views must be interchangeable");
+    }
+}
+
+#[test]
+fn simpush_tracks_updates_immediately() {
+    // Start: node 0 and 1 share no parents → s(0,1) = 0.
+    let mut live = MutableGraph::new(6);
+    live.insert_edge(2, 0);
+    live.insert_edge(3, 1);
+    let engine = SimPush::new(Config::exact(0.001));
+    assert_eq!(engine.query(&live, 0).scores[1], 0.0);
+
+    // Update: give them two shared parents → s(0,1) = c/4·2 = 0.3.
+    live.insert_edge(2, 1);
+    live.insert_edge(3, 0);
+    let after = engine.query(&live, 0).scores[1];
+    assert!((after - 0.3).abs() < 1e-9, "after update s̃(0,1) = {after}");
+
+    // Dilute node 1 with an unshared parent: s(0,1) = c/6·2 = 0.2.
+    let extra = live.add_node();
+    live.insert_edge(extra, 1);
+    let reduced = engine.query(&live, 0).scores[1];
+    assert!(
+        (reduced - 0.2).abs() < 1e-9,
+        "diluted s̃(0,1) = {reduced} (want 0.2)"
+    );
+}
+
+#[test]
+fn index_based_answers_go_stale_after_updates() {
+    let mut live = MutableGraph::new(6);
+    live.insert_edge(2, 0);
+    live.insert_edge(2, 1);
+    let snapshot = live.snapshot();
+    let mut sling = Sling::new(0.001, 4000, 3);
+    sling.preprocess(&snapshot);
+    let before = sling.query(&snapshot, 0)[1];
+    assert!((before - 0.6).abs() < 0.02, "fresh index: {before}");
+
+    // The graph changes: the shared parent unlinks node 1.
+    live.remove_edge(2, 1);
+    // SLING still answers from the stale index/snapshot…
+    let stale = sling.query(&snapshot, 0)[1];
+    assert!((stale - before).abs() < 1e-12, "index does not see the update");
+    // …while the truth (and any index-free method) sees s(0,1) = 0.
+    let fresh = SimPush::new(Config::exact(0.001)).query(&live, 0).scores[1];
+    assert_eq!(fresh, 0.0);
+    // Only a full rebuild fixes SLING.
+    let snapshot2 = live.snapshot();
+    let mut rebuilt = Sling::new(0.001, 4000, 3);
+    rebuilt.preprocess(&snapshot2);
+    assert_eq!(rebuilt.query(&snapshot2, 0)[1], 0.0);
+}
+
+#[test]
+fn node_growth_is_supported() {
+    let mut live = MutableGraph::new(2);
+    live.insert_edge(1, 0);
+    let v = live.add_node();
+    live.insert_edge(1, v);
+    // New node v shares parent 1 with node 0 → positive similarity.
+    let engine = SimPush::new(Config::exact(0.001));
+    let s = engine.query(&live, 0).scores[v as usize];
+    assert!((s - 0.6).abs() < 1e-9, "s̃(0,new) = {s}");
+}

@@ -1,0 +1,101 @@
+//! End-to-end pipeline smoke tests: dataset registry → runner → metrics,
+//! exactly the path the figure binaries take (at toy scale).
+
+use simrank_suite::eval::methods::{method_grid, MethodFamily};
+use simrank_suite::eval::runner::{run_dataset, ExperimentConfig};
+use simrank_suite::eval::{datasets, report};
+use simrank_suite::prelude::*;
+
+fn toy_cfg(tag: &str) -> ExperimentConfig {
+    let base = std::env::temp_dir().join(format!("simrank-it-{}-{tag}", std::process::id()));
+    ExperimentConfig {
+        k: 20,
+        num_queries: 2,
+        gt_samples: 15_000,
+        gt_threads: 2,
+        scratch_dir: base.join("scratch"),
+        gt_cache_dir: Some(base.join("gt")),
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn figure4_pipeline_on_toy_scale() {
+    // One small dataset from the real registry at 2% scale, three method
+    // families, full pipeline including pooled ground truth and CSV output.
+    let spec = datasets::registry_scaled(0.02)
+        .into_iter()
+        .find(|d| d.name == "in2004-sim")
+        .unwrap();
+    let g = spec.generate();
+
+    let mut settings = Vec::new();
+    settings.push(method_grid(MethodFamily::SimPush)[0].clone());
+    settings.push(method_grid(MethodFamily::SimPush)[2].clone());
+    settings.push(method_grid(MethodFamily::ProbeSim)[1].clone());
+    settings.push(method_grid(MethodFamily::Reads)[1].clone());
+
+    let cfg = toy_cfg("fig4");
+    let results = run_dataset(spec.name, &g, &settings, &cfg);
+    assert_eq!(results.len(), 4);
+
+    for r in &results {
+        assert!(r.excluded.is_none(), "{}: {:?}", r.label, r.excluded);
+        assert!(r.avg_query_secs > 0.0);
+        assert!((0.0..=1.0).contains(&r.precision));
+        assert!(r.avg_error < 0.2, "{}: {}", r.label, r.avg_error);
+    }
+
+    // Tighter SimPush must not be less accurate than looser SimPush.
+    assert!(
+        results[1].avg_error <= results[0].avg_error + 0.01,
+        "ε=0.01 ({}) vs ε=0.05 ({})",
+        results[1].avg_error,
+        results[0].avg_error
+    );
+
+    // Report emitters accept the results.
+    let table = report::results_table(&results);
+    assert!(table.contains("SimPush"));
+    let csv = report::results_csv(&results);
+    assert_eq!(csv.lines().count(), 5);
+
+    std::fs::remove_dir_all(cfg.scratch_dir.parent().unwrap()).ok();
+}
+
+#[test]
+fn ground_truth_cache_accelerates_second_run() {
+    let spec = datasets::registry_scaled(0.02)
+        .into_iter()
+        .find(|d| d.name == "pokec-sim")
+        .unwrap();
+    let g = spec.generate();
+    let settings = vec![method_grid(MethodFamily::SimPush)[1].clone()];
+    let cfg = toy_cfg("gtcache");
+
+    let r1 = run_dataset(spec.name, &g, &settings, &cfg);
+    // The first run must have populated the per-query cache files.
+    let cache_root = cfg.gt_cache_dir.as_ref().unwrap().join(spec.name);
+    let cache_files = std::fs::read_dir(&cache_root)
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert!(cache_files >= 1, "expected ground-truth cache files");
+
+    let r2 = run_dataset(spec.name, &g, &settings, &cfg);
+    // Identical metrics both times (cache returns the same ground truth).
+    assert_eq!(r1[0].avg_error, r2[0].avg_error);
+    assert_eq!(r1[0].precision, r2[0].precision);
+    std::fs::remove_dir_all(cfg.scratch_dir.parent().unwrap()).ok();
+}
+
+#[test]
+fn every_registry_dataset_supports_a_simpush_query() {
+    for spec in datasets::registry_scaled(0.02) {
+        let g = spec.generate();
+        let u = (g.num_nodes() / 2) as NodeId;
+        let engine = simpush::SimPush::new(simpush::Config::new(0.05));
+        let result = engine.query(&g, u);
+        assert_eq!(result.scores.len(), g.num_nodes(), "{}", spec.name);
+        assert_eq!(result.scores[u as usize], 1.0, "{}", spec.name);
+    }
+}
