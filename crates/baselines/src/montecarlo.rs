@@ -1,4 +1,4 @@
-//! Naive Monte-Carlo single-source SimRank (paper [5], used for ground
+//! Naive Monte-Carlo single-source SimRank (paper \[5\], used for ground
 //! truth).
 //!
 //! For each candidate `v`, estimates `s(u, v)` by sampling pairs of

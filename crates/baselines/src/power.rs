@@ -51,13 +51,20 @@ impl ExactSimRank {
 pub fn power_method<G: GraphView>(g: &G, c: f64, tol: f64, max_iters: usize) -> ExactSimRank {
     assert!(c > 0.0 && c < 1.0, "decay factor must lie in (0,1)");
     let n = g.num_nodes();
-    assert!(n <= 46_000, "power method is O(n²) memory; {n} nodes is too large");
+    assert!(
+        n <= 46_000,
+        "power method is O(n²) memory; {n} nodes is too large"
+    );
     let mut s = vec![0.0; n * n];
     for u in 0..n {
         s[u * n + u] = 1.0;
     }
     if n == 0 {
-        return ExactSimRank { n, s, iterations: 0 };
+        return ExactSimRank {
+            n,
+            s,
+            iterations: 0,
+        };
     }
 
     let mut a = vec![0.0; n * n]; // W · S

@@ -41,7 +41,10 @@ struct ReadsIndex {
 impl Reads {
     /// Standard configuration (`c = 0.6`).
     pub fn new(r: usize, t: usize, seed: u64) -> Self {
-        assert!(r >= 1 && t >= 1, "need at least one sample set and one step");
+        assert!(
+            r >= 1 && t >= 1,
+            "need at least one sample set and one step"
+        );
         Self {
             r,
             t,

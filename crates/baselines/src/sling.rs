@@ -46,7 +46,10 @@ struct SlingIndex {
 impl Sling {
     /// Standard configuration (`c = 0.6`).
     pub fn new(eps_index: f64, eta_samples: usize, seed: u64) -> Self {
-        assert!(eps_index > 0.0 && eps_index < 1.0, "index threshold in (0,1)");
+        assert!(
+            eps_index > 0.0 && eps_index < 1.0,
+            "index threshold in (0,1)"
+        );
         Self {
             eps_index,
             eta_samples,
@@ -61,7 +64,6 @@ impl Sling {
     fn max_level(&self) -> usize {
         ((1.0 / self.eps_index).ln() / (1.0 / self.c.sqrt()).ln()).floor() as usize
     }
-
 }
 
 /// Estimates `η(w)`: the probability that two independent √c-walks from `w`
@@ -129,8 +131,7 @@ impl SimRankMethod for Sling {
                 if next.is_empty() {
                     break;
                 }
-                let mut entries: Vec<(NodeId, f64)> =
-                    next.iter().map(|(&v, &p)| (v, p)).collect();
+                let mut entries: Vec<(NodeId, f64)> = next.iter().map(|(&v, &p)| (v, p)).collect();
                 entries.sort_unstable_by_key(|&(v, _)| v);
                 for &(v, p) in &entries {
                     by_source[v as usize].push((level as u8, w, p));

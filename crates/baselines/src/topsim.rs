@@ -8,7 +8,7 @@
 //! `1/d` mass each and are dropped wholesale). Scores are assembled by
 //! pushing the truncated hitting probabilities back along out-edges
 //! **without any last-meeting correction** — the truncation/overcount bias
-//! the paper (after [21]) notes makes TopSim's quality guarantee
+//! the paper (after \[21\]) notes makes TopSim's quality guarantee
 //! problematic; both biases are visible in our accuracy plots.
 
 use crate::api::SimRankMethod;
@@ -154,7 +154,12 @@ mod tests {
         let s1 = shallow.query(&g, 3);
         let mut deep = TopSim::new(8, 10_000);
         let s8 = deep.query(&g, 3);
-        assert!(s1[4] < exact.get(3, 4) - 0.01, "shallow {} exact {}", s1[4], exact.get(3, 4));
+        assert!(
+            s1[4] < exact.get(3, 4) - 0.01,
+            "shallow {} exact {}",
+            s1[4],
+            exact.get(3, 4)
+        );
         assert!(s8[4] >= s1[4]);
     }
 

@@ -7,7 +7,7 @@
 //! whose chain also sits at `w` after `ℓ` steps (= the depth-`ℓ` descendants
 //! of `w` in the reversed one-way forest) receives weight `c^ℓ`.
 //!
-//! The paper (after [33]) criticises TSF for (i) counting **all** meetings,
+//! The paper (after \[33\]) criticises TSF for (i) counting **all** meetings,
 //! not first meetings — an overestimate — and (ii) assuming walks are
 //! acyclic. Both behaviours are reproduced faithfully here and visible in
 //! the accuracy plots.
@@ -57,7 +57,10 @@ struct TsfIndex {
 impl Tsf {
     /// Standard configuration (`c = 0.6`, depth 10 as in the original).
     pub fn new(rg: usize, rq: usize, seed: u64) -> Self {
-        assert!(rg >= 1 && rq >= 1, "need at least one one-way graph and one reuse");
+        assert!(
+            rg >= 1 && rq >= 1,
+            "need at least one one-way graph and one reuse"
+        );
         Self {
             rg,
             rq,

@@ -28,11 +28,11 @@ fn bench_epsilon_grid(c: &mut Criterion) {
 fn bench_graph_families(c: &mut Criterion) {
     let graphs = [
         ("web", gen::copying_web(40_000, 8, 0.75, 1)),
-        ("social", gen::rmat(15, 320_000, gen::RmatParams::social(), 2)),
         (
-            "collab",
-            gen::chung_lu_undirected(40_000, 160_000, 2.5, 3),
+            "social",
+            gen::rmat(15, 320_000, gen::RmatParams::social(), 2),
         ),
+        ("collab", gen::chung_lu_undirected(40_000, 160_000, 2.5, 3)),
     ];
     let engine = SimPush::new(Config::new(0.02));
     let mut group = c.benchmark_group("simpush_query/family");

@@ -35,11 +35,15 @@ fn bench_hybrid_threshold(c: &mut Criterion) {
     const UNIVERSE: usize = 1 << 20;
     let sparse_keys: Vec<u32> = {
         let mut rng = SmallRng::seed_from_u64(1);
-        (0..2_000).map(|_| rng.gen_range(0..UNIVERSE as u32)).collect()
+        (0..2_000)
+            .map(|_| rng.gen_range(0..UNIVERSE as u32))
+            .collect()
     };
     let dense_keys: Vec<u32> = {
         let mut rng = SmallRng::seed_from_u64(2);
-        (0..400_000).map(|_| rng.gen_range(0..UNIVERSE as u32)).collect()
+        (0..400_000)
+            .map(|_| rng.gen_range(0..UNIVERSE as u32))
+            .collect()
     };
 
     let mut group = c.benchmark_group("hybrid_threshold");
@@ -50,19 +54,15 @@ fn bench_hybrid_threshold(c: &mut Criterion) {
             ("pin_dense", 0),         // migrate immediately
             ("hybrid", UNIVERSE / simrank_common::hybrid::DENSE_DIVISOR),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(mode, density),
-                keys,
-                |b, keys| {
-                    b.iter(|| {
-                        let mut m = HybridMap::with_threshold(UNIVERSE, threshold);
-                        for &k in keys.iter() {
-                            m.add(k, 0.5);
-                        }
-                        black_box(m.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(mode, density), keys, |b, keys| {
+                b.iter(|| {
+                    let mut m = HybridMap::with_threshold(UNIVERSE, threshold);
+                    for &k in keys.iter() {
+                        m.add(k, 0.5);
+                    }
+                    black_box(m.len())
+                })
+            });
         }
     }
     group.finish();

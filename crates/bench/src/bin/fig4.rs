@@ -2,7 +2,7 @@
 //! setting (5 points per method = the paper's trade-off curves).
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin fig4
+//! cargo run -p simrank_bench --release --bin fig4
 //! ```
 
 fn main() {
@@ -27,10 +27,7 @@ fn main() {
         // and the best index-based competitor at comparable accuracy.
         summarize(&rows);
     }
-    println!(
-        "\nCSV: {}",
-        simrank_bench::results_dir().display()
-    );
+    println!("\nCSV: {}", simrank_bench::results_dir().display());
 }
 
 /// Prints the per-dataset headline: for the most accurate SimPush setting,

@@ -2,7 +2,7 @@
 //! precision view).
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin fig5
+//! cargo run -p simrank_bench --release --bin fig5
 //! ```
 
 fn main() {
@@ -25,7 +25,9 @@ fn main() {
         }
         // Headline: time each family needs to reach 0.9 precision.
         println!("  time to reach Precision@50 ≥ 0.90:");
-        for family in ["SimPush", "ProbeSim", "PRSim", "SLING", "READS", "TSF", "TopSim"] {
+        for family in [
+            "SimPush", "ProbeSim", "PRSim", "SLING", "READS", "TSF", "TopSim",
+        ] {
             let t = rows
                 .iter()
                 .filter(|r| r.family == family && r.excluded.is_none() && r.precision >= 0.90)

@@ -7,7 +7,7 @@
 //! everything that ran before).
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin fig6
+//! cargo run -p simrank_bench --release --bin fig6
 //! ```
 
 use simrank_common::mem::format_bytes;
@@ -33,7 +33,9 @@ fn main() {
         }
         // Headline: index blow-up factors relative to the graph.
         println!("  index size / graph size (max over settings):");
-        for family in ["SimPush", "ProbeSim", "TopSim", "PRSim", "SLING", "READS", "TSF"] {
+        for family in [
+            "SimPush", "ProbeSim", "TopSim", "PRSim", "SLING", "READS", "TSF",
+        ] {
             let factor = rows
                 .iter()
                 .filter(|r| r.family == family)

@@ -6,7 +6,7 @@
 //! (c) error vs memory.
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin fig7
+//! cargo run -p simrank_bench --release --bin fig7
 //! ```
 
 use simrank_common::mem::format_bytes;

@@ -3,7 +3,7 @@
 //! number of attention nodes stays in the dozens–hundreds.
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin intext
+//! cargo run -p simrank_bench --release --bin intext
 //! ```
 
 use simpush::{Config, SimPush};

@@ -5,7 +5,7 @@
 //! and prints the asymptotic comparison rows for reference.
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin table1
+//! cargo run -p simrank_bench --release --bin table1
 //! ```
 
 use simpush::{Config, SimPush};
@@ -26,18 +26,32 @@ fn mean_query_secs(g: &impl GraphView, eps: f64, queries: &[u32]) -> f64 {
 
 fn main() {
     println!("=== Table 1 (asymptotic, from the paper) ===");
-    println!("SimPush   query O(m·log(1/ε)/ε + log(1/δ)/ε² + 1/ε³)   index -        preprocessing -");
-    println!("TSF       query O(n·log(n/δ)/ε²)                       index same     preprocessing same");
-    println!("READS     query O(n·log(n/δ)/ε²)                       index same     preprocessing same");
-    println!("ProbeSim  query O(n·log(n/δ)/ε²)                       index -        preprocessing -");
+    println!(
+        "SimPush   query O(m·log(1/ε)/ε + log(1/δ)/ε² + 1/ε³)   index -        preprocessing -"
+    );
+    println!(
+        "TSF       query O(n·log(n/δ)/ε²)                       index same     preprocessing same"
+    );
+    println!(
+        "READS     query O(n·log(n/δ)/ε²)                       index same     preprocessing same"
+    );
+    println!(
+        "ProbeSim  query O(n·log(n/δ)/ε²)                       index -        preprocessing -"
+    );
     println!("SLING     query O(n/ε)                                 index O(n/ε)   preprocessing O(m/ε + n·log(n/δ)/ε²)");
     println!("PRSim     query O(n·log(n/δ)/ε²)                       index O(min(n/ε, m))  preprocessing O(m/ε)");
 
     // --- scaling in 1/ε at fixed graph ---
     let g = gen::chung_lu_directed(60_000, 600_000, 2.5, 7);
     let queries: Vec<u32> = (0..8).map(|i| (i * 7411) % 60_000).collect();
-    println!("\n=== measured: SimPush query time vs ε (fixed m = {}) ===", g.num_edges());
-    println!("{:>8} {:>12} {:>14}", "ε", "query(s)", "s·ε (≈flat if ~1/ε)");
+    println!(
+        "\n=== measured: SimPush query time vs ε (fixed m = {}) ===",
+        g.num_edges()
+    );
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "ε", "query(s)", "s·ε (≈flat if ~1/ε)"
+    );
     let mut series = Vec::new();
     for eps in [0.08, 0.04, 0.02, 0.01, 0.005] {
         let s = mean_query_secs(&g, eps, &queries);
@@ -51,9 +65,17 @@ fn main() {
 
     // --- scaling in m at fixed ε ---
     println!("\n=== measured: SimPush query time vs m (ε = 0.02, Chung-Lu family) ===");
-    println!("{:>10} {:>12} {:>12} {:>16}", "n", "m", "query(s)", "s/m (≈flat if ~m)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>16}",
+        "n", "m", "query(s)", "s/m (≈flat if ~m)"
+    );
     let mut mseries = Vec::new();
-    for (n, m) in [(15_000, 150_000), (30_000, 300_000), (60_000, 600_000), (120_000, 1_200_000)] {
+    for (n, m) in [
+        (15_000, 150_000),
+        (30_000, 300_000),
+        (60_000, 600_000),
+        (120_000, 1_200_000),
+    ] {
         let g = gen::chung_lu_directed(n, m, 2.5, 7);
         let queries: Vec<u32> = (0..8).map(|i| ((i * 7411) % n) as u32).collect();
         let s = mean_query_secs(&g, 0.02, &queries);

@@ -3,7 +3,7 @@
 //! and Reverse-Push, across datasets and ε.
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin table3
+//! cargo run -p simrank_bench --release --bin table3
 //! ```
 
 use simpush::{Config, SimPush};

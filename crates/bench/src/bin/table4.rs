@@ -2,7 +2,7 @@
 //! paper graphs they substitute for.
 //!
 //! ```sh
-//! cargo run -p simrank-bench --release --bin table4
+//! cargo run -p simrank_bench --release --bin table4
 //! ```
 
 use simrank_eval::datasets;
@@ -26,7 +26,11 @@ fn main() {
             spec.name,
             g.num_nodes(),
             g.num_edges(),
-            if spec.directed { "directed" } else { "undirected" },
+            if spec.directed {
+                "directed"
+            } else {
+                "undirected"
+            },
             stats.max_in_degree,
             stats.max_out_degree,
             stats.reciprocity,

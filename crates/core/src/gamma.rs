@@ -20,7 +20,11 @@ use simrank_common::FxHashMap;
 
 /// Computes `γ` for every attention node. `gammas[id]` corresponds to
 /// `att.nodes[id]`.
-pub fn compute_gammas(att: &AttentionIndex, att_hit: &AttentionHitting, max_level: usize) -> Vec<f64> {
+pub fn compute_gammas(
+    att: &AttentionIndex,
+    att_hit: &AttentionHitting,
+    max_level: usize,
+) -> Vec<f64> {
     let mut gammas = vec![1.0; att.len()];
     for w_id in 0..att.len() as u32 {
         let ell = att.level_of(w_id) as usize;
@@ -88,7 +92,11 @@ mod tests {
     }
 
     /// Runs the full stage-2 pipeline on `g` for query `u`.
-    fn gammas_for<G: GraphView>(g: &G, u: u32, eps: f64) -> (crate::hitting::AttentionIndex, Vec<f64>, usize) {
+    fn gammas_for<G: GraphView>(
+        g: &G,
+        u: u32,
+        eps: f64,
+    ) -> (crate::hitting::AttentionIndex, Vec<f64>, usize) {
         let cfg = Config::exact(eps);
         let gu = source_push(g, u, &cfg).gu;
         let att = crate::hitting::AttentionIndex::build(&gu);
@@ -149,7 +157,11 @@ mod tests {
         let c = 0.6;
         for id in 0..att.len() as u32 {
             if (att.level_of(id) as usize) < gu.max_level() {
-                assert!(close(gammas[id as usize], 1.0 - c), "γ = {}", gammas[id as usize]);
+                assert!(
+                    close(gammas[id as usize], 1.0 - c),
+                    "γ = {}",
+                    gammas[id as usize]
+                );
             }
         }
     }

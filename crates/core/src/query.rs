@@ -134,8 +134,8 @@ impl SimPush {
         // second pass; exactness of the split is not relied on anywhere —
         // `time_stage1()` is what Table 3 reports.
         if sp.num_walks > 0 {
-            let walk_share = sp.num_walks as f64
-                / (sp.num_walks as f64 + sp.gu.total_entries().max(1) as f64);
+            let walk_share =
+                sp.num_walks as f64 / (sp.num_walks as f64 + sp.gu.total_entries().max(1) as f64);
             stats.time_sampling = stage1.mul_f64(walk_share);
             stats.time_source_push = stage1 - stats.time_sampling;
         } else {
@@ -240,7 +240,12 @@ mod tests {
         // by the tail mass, well under ε.
         for v in 0..g.num_nodes() {
             let d = (exact.scores[v] - mc.scores[v]).abs();
-            assert!(d <= eps, "v={v}: exact {} mc {}", exact.scores[v], mc.scores[v]);
+            assert!(
+                d <= eps,
+                "v={v}: exact {} mc {}",
+                exact.scores[v],
+                mc.scores[v]
+            );
         }
     }
 

@@ -28,7 +28,7 @@ pub struct Level {
 pub struct SourceGraph {
     /// The query node `u`.
     pub query: NodeId,
-    /// Levels `0..=L`; `levels[0]` holds only `u` with `h = 1`.
+    /// Levels `0..=L`; `levels\[0\]` holds only `u` with `h = 1`.
     pub levels: Vec<Level>,
     /// Node universe size `n` (for sizing downstream maps).
     pub universe: usize,
@@ -62,12 +62,19 @@ impl SourceGraph {
 
     /// Iterates `(level, node, h)` over all attention nodes, levels `1..=L`.
     pub fn attention_entries(&self) -> impl Iterator<Item = (usize, NodeId, f64)> + '_ {
-        self.levels.iter().enumerate().skip(1).flat_map(|(ell, lvl)| {
-            lvl.attention.iter().map(move |&w| {
-                let h = lvl.h.get(w).expect("attention node must be in the level map");
-                (ell, w, h)
+        self.levels
+            .iter()
+            .enumerate()
+            .skip(1)
+            .flat_map(|(ell, lvl)| {
+                lvl.attention.iter().map(move |&w| {
+                    let h = lvl
+                        .h
+                        .get(w)
+                        .expect("attention node must be in the level map");
+                    (ell, w, h)
+                })
             })
-        })
     }
 
     /// Approximate heap footprint in bytes.
@@ -95,9 +102,18 @@ mod tests {
             query: 3,
             universe: 10,
             levels: vec![
-                Level { h: l0, attention: vec![3] },
-                Level { h: l1, attention: vec![1] },
-                Level { h: l2, attention: vec![0] },
+                Level {
+                    h: l0,
+                    attention: vec![3],
+                },
+                Level {
+                    h: l1,
+                    attention: vec![1],
+                },
+                Level {
+                    h: l2,
+                    attention: vec![0],
+                },
             ],
         }
     }

@@ -26,7 +26,10 @@ pub struct SourcePushOutput {
 /// Panics if `u` is outside the graph's node range.
 pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOutput {
     let n = g.num_nodes();
-    assert!((u as usize) < n, "query node {u} outside graph with {n} nodes");
+    assert!(
+        (u as usize) < n,
+        "query node {u} outside graph with {n} nodes"
+    );
     let l_star = cfg.l_star();
 
     // Lines 1–8: determine how deep to push.
@@ -34,10 +37,12 @@ pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOu
         LevelDetection::Exact => (l_star, 0),
         LevelDetection::MonteCarlo => {
             let walks = cfg.num_detection_walks();
-            let visits =
-                LevelVisits::sample(g, u, WalkParams::new(cfg.c), walks, l_star, cfg.seed);
+            let visits = LevelVisits::sample(g, u, WalkParams::new(cfg.c), walks, l_star, cfg.seed);
             let threshold = cfg.detection_threshold(walks);
-            (visits.deepest_level_with_count(threshold).min(l_star), walks)
+            (
+                visits.deepest_level_with_count(threshold).min(l_star),
+                walks,
+            )
         }
     };
 

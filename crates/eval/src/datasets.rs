@@ -9,9 +9,9 @@
 //! uniformly — e.g. `SIMRANK_SCALE=0.1` for a quick smoke run of all
 //! figures.
 
+use simrank_common::NodeId;
 use simrank_graph::gen::{self, RmatParams};
 use simrank_graph::{io as gio, CsrGraph, GraphView};
-use simrank_common::NodeId;
 use std::path::{Path, PathBuf};
 
 /// How a dataset is generated.
@@ -133,7 +133,11 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "in2004-sim",
             paper_name: "In-2004 (1.4M, 16.5M) web",
             directed: true,
-            kind: DatasetKind::Web { n: sz(40_000, scale), k: 12, copy_prob: 0.7 },
+            kind: DatasetKind::Web {
+                n: sz(40_000, scale),
+                k: 12,
+                copy_prob: 0.7,
+            },
             seed: 0xA001,
             large: false,
         },
@@ -141,7 +145,11 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "dblp-sim",
             paper_name: "DBLP (5.4M, 17.3M) collab",
             directed: false,
-            kind: DatasetKind::Collab { n: sz(60_000, scale), pairs: sz(270_000, scale), exponent: 2.6 },
+            kind: DatasetKind::Collab {
+                n: sz(60_000, scale),
+                pairs: sz(270_000, scale),
+                exponent: 2.6,
+            },
             seed: 0xA002,
             large: false,
         },
@@ -161,7 +169,10 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "livejournal-sim",
             paper_name: "LiveJournal (4.8M, 68.5M) social",
             directed: true,
-            kind: DatasetKind::Citation { n: sz(70_000, scale), k: 14 },
+            kind: DatasetKind::Citation {
+                n: sz(70_000, scale),
+                k: 14,
+            },
             seed: 0xA004,
             large: false,
         },
@@ -169,7 +180,11 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "it2004-sim",
             paper_name: "IT-2004 (41M, 1.14B) web",
             directed: true,
-            kind: DatasetKind::Web { n: sz(200_000, scale), k: 12, copy_prob: 0.75 },
+            kind: DatasetKind::Web {
+                n: sz(200_000, scale),
+                k: 12,
+                copy_prob: 0.75,
+            },
             seed: 0xA005,
             large: true,
         },
@@ -189,7 +204,11 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "friendster-sim",
             paper_name: "Friendster (65.6M, 3.6B) social",
             directed: false,
-            kind: DatasetKind::Collab { n: sz(300_000, scale), pairs: sz(1_600_000, scale), exponent: 2.4 },
+            kind: DatasetKind::Collab {
+                n: sz(300_000, scale),
+                pairs: sz(1_600_000, scale),
+                exponent: 2.4,
+            },
             seed: 0xA007,
             large: true,
         },
@@ -197,7 +216,11 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "uk-sim",
             paper_name: "UK (133.6M, 5.5B) web",
             directed: true,
-            kind: DatasetKind::Web { n: sz(400_000, scale), k: 11, copy_prob: 0.75 },
+            kind: DatasetKind::Web {
+                n: sz(400_000, scale),
+                k: 11,
+                copy_prob: 0.75,
+            },
             seed: 0xA008,
             large: true,
         },
@@ -205,7 +228,11 @@ pub fn registry_scaled(scale: f64) -> Vec<DatasetSpec> {
             name: "clueweb-sim",
             paper_name: "ClueWeb (1.68B, 7.9B) web",
             directed: true,
-            kind: DatasetKind::Web { n: sz(600_000, scale), k: 9, copy_prob: 0.8 },
+            kind: DatasetKind::Web {
+                n: sz(600_000, scale),
+                k: 9,
+                copy_prob: 0.8,
+            },
             seed: 0xA009,
             large: true,
         },

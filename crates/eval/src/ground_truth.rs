@@ -36,7 +36,11 @@ pub fn exact_ground_truth<G: GraphView>(g: &G, u: NodeId, k: usize) -> GroundTru
         }
     }
     let top_k = select_top_k(&values, k);
-    GroundTruth { query: u, top_k, values }
+    GroundTruth {
+        query: u,
+        top_k,
+        values,
+    }
 }
 
 /// Monte-Carlo pooled ground truth with disk cache.
@@ -57,10 +61,8 @@ pub fn pooled_ground_truth<G: GraphView + Sync>(
     cache_dir: Option<&Path>,
 ) -> GroundTruth {
     let cache_path = cache_dir.map(|d| cache_file(d, dataset, u, samples));
-    let mut cached: FxHashMap<NodeId, f64> = cache_path
-        .as_deref()
-        .map(load_cache)
-        .unwrap_or_default();
+    let mut cached: FxHashMap<NodeId, f64> =
+        cache_path.as_deref().map(load_cache).unwrap_or_default();
 
     let params = WalkParams::new(0.6);
     let mut fresh: Vec<(NodeId, f64)> = Vec::new();
@@ -83,7 +85,11 @@ pub fn pooled_ground_truth<G: GraphView + Sync>(
         .filter_map(|&v| cached.get(&v).map(|&s| (v, s)))
         .collect();
     let top_k = select_top_k(&values, k);
-    GroundTruth { query: u, top_k, values }
+    GroundTruth {
+        query: u,
+        top_k,
+        values,
+    }
 }
 
 fn select_top_k(values: &FxHashMap<NodeId, f64>, k: usize) -> Vec<(NodeId, f64)> {
@@ -121,7 +127,11 @@ fn append_cache(path: &Path, fresh: &[(NodeId, f64)]) {
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
         return; // caching is best-effort
     };
     let mut buf = String::new();

@@ -1,27 +1,27 @@
 //! Method factory: the seven evaluated methods with the paper's five-point
 //! parameter grids (§5.1 "Parameters").
 
+use simpush::{Config, QueryStats, SimPush};
 use simrank_baselines::{PrSim, ProbeSim, Reads, SimRankMethod, Sling, TopSim, Tsf};
 use simrank_common::NodeId;
 use simrank_graph::CsrGraph;
-use simpush::{Config, QueryStats, SimPush};
 
 /// The method families of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MethodFamily {
     /// SimPush (this paper).
     SimPush,
-    /// ProbeSim [21] — index-free.
+    /// ProbeSim \[21\] — index-free.
     ProbeSim,
-    /// TopSim [15] — index-free.
+    /// TopSim \[15\] — index-free.
     TopSim,
-    /// SLING [31] — index-based.
+    /// SLING \[31\] — index-based.
     Sling,
-    /// PRSim [33] — index-based.
+    /// PRSim \[33\] — index-based.
     PrSim,
-    /// READS [12] — index-based.
+    /// READS \[12\] — index-based.
     Reads,
-    /// TSF [28] — index-based.
+    /// TSF \[28\] — index-based.
     Tsf,
 }
 
@@ -67,22 +67,41 @@ pub struct MethodSetting {
 
 #[derive(Debug, Clone)]
 enum MethodConfig {
-    SimPush { epsilon: f64 },
-    ProbeSim { epsilon: f64, prune: f64 },
-    TopSim { depth: usize, degree_threshold: usize },
-    Sling { eps_index: f64, eta_samples: usize },
-    PrSim { epsilon: f64, eps_push: f64, eta_samples: usize },
-    Reads { r: usize, t: usize },
-    Tsf { rg: usize, rq: usize },
+    SimPush {
+        epsilon: f64,
+    },
+    ProbeSim {
+        epsilon: f64,
+        prune: f64,
+    },
+    TopSim {
+        depth: usize,
+        degree_threshold: usize,
+    },
+    Sling {
+        eps_index: f64,
+        eta_samples: usize,
+    },
+    PrSim {
+        epsilon: f64,
+        eps_push: f64,
+        eta_samples: usize,
+    },
+    Reads {
+        r: usize,
+        t: usize,
+    },
+    Tsf {
+        rg: usize,
+        rq: usize,
+    },
 }
 
 impl MethodSetting {
     /// Instantiates a fresh method object (unbuilt index) for this setting.
     pub fn instantiate(&self, seed: u64) -> Box<dyn SimRankMethod> {
         match self.config {
-            MethodConfig::SimPush { epsilon } => {
-                Box::new(SimPushMethod::new(Config::new(epsilon)))
-            }
+            MethodConfig::SimPush { epsilon } => Box::new(SimPushMethod::new(Config::new(epsilon))),
             MethodConfig::ProbeSim { epsilon, prune } => Box::new(ProbeSim {
                 prune,
                 ..ProbeSim::new(epsilon, seed)
@@ -141,20 +160,26 @@ pub fn method_grid(family: MethodFamily) -> Vec<MethodSetting> {
                 )
             })
             .collect(),
-        MethodFamily::TopSim => [(1usize, 10usize), (3, 100), (3, 1000), (3, 10_000), (4, 10_000)]
-            .iter()
-            .enumerate()
-            .map(|(i, &(t, h))| {
-                mk(
-                    i,
-                    format!("TopSim T={t},1/h={h}"),
-                    MethodConfig::TopSim {
-                        depth: t,
-                        degree_threshold: h,
-                    },
-                )
-            })
-            .collect(),
+        MethodFamily::TopSim => [
+            (1usize, 10usize),
+            (3, 100),
+            (3, 1000),
+            (3, 10_000),
+            (4, 10_000),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, h))| {
+            mk(
+                i,
+                format!("TopSim T={t},1/h={h}"),
+                MethodConfig::TopSim {
+                    depth: t,
+                    degree_threshold: h,
+                },
+            )
+        })
+        .collect(),
         MethodFamily::Sling => [0.5f64, 0.1, 0.05, 0.01, 0.005]
             .iter()
             .zip([200usize, 500, 1000, 2000, 4000])
@@ -196,17 +221,23 @@ pub fn method_grid(family: MethodFamily) -> Vec<MethodSetting> {
                 )
             })
             .collect(),
-        MethodFamily::Tsf => [(10usize, 2usize), (100, 20), (200, 30), (300, 40), (600, 80)]
-            .iter()
-            .enumerate()
-            .map(|(i, &(rg, rq))| {
-                mk(
-                    i,
-                    format!("TSF Rg={rg},Rq={rq}"),
-                    MethodConfig::Tsf { rg, rq },
-                )
-            })
-            .collect(),
+        MethodFamily::Tsf => [
+            (10usize, 2usize),
+            (100, 20),
+            (200, 30),
+            (300, 40),
+            (600, 80),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(rg, rq))| {
+            mk(
+                i,
+                format!("TSF Rg={rg},Rq={rq}"),
+                MethodConfig::Tsf { rg, rq },
+            )
+        })
+        .collect(),
     }
 }
 

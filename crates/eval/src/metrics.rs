@@ -32,10 +32,7 @@ pub fn top_k_sparse(entries: &[(NodeId, f64)], k: usize, exclude: NodeId) -> Vec
 /// `AvgError@k = (1/k)·Σ_{vi ∈ Vk} |ŝ(u,vi) − s(u,vi)|` where `Vk` is the
 /// ground-truth top-k (with values) and `estimates` maps node → ŝ (missing
 /// nodes estimate 0).
-pub fn avg_error_at_k(
-    truth_top_k: &[(NodeId, f64)],
-    estimates: &FxHashMap<NodeId, f64>,
-) -> f64 {
+pub fn avg_error_at_k(truth_top_k: &[(NodeId, f64)], estimates: &FxHashMap<NodeId, f64>) -> f64 {
     if truth_top_k.is_empty() {
         return 0.0;
     }

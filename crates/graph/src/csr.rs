@@ -43,7 +43,10 @@ impl CsrGraph {
             assert!(w[0] < w[1], "edge list must be sorted and deduplicated");
         }
         for &(s, t) in edges {
-            assert!((s as usize) < n && (t as usize) < n, "edge ({s},{t}) out of range for n={n}");
+            assert!(
+                (s as usize) < n && (t as usize) < n,
+                "edge ({s},{t}) out of range for n={n}"
+            );
             out_offsets[s as usize + 1] += 1;
         }
         for i in 0..n {
@@ -89,9 +92,8 @@ impl CsrGraph {
 
     /// Iterator over all edges in `(src, dst)` order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.num_nodes() as NodeId).flat_map(move |s| {
-            self.out_neighbors(s).iter().map(move |&t| (s, t))
-        })
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |s| self.out_neighbors(s).iter().map(move |&t| (s, t)))
     }
 
     /// Returns the transposed graph (every edge reversed). `O(n + m)` — the

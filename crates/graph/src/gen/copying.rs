@@ -18,7 +18,10 @@ use simrank_common::NodeId;
 /// page (edge count ≈ `n·k` before deduplication).
 pub fn copying_web(n: usize, k: usize, copy_prob: f64, seed: u64) -> CsrGraph {
     assert!(n > k + 1, "need more pages than links per page");
-    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&copy_prob),
+        "copy_prob must be a probability"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new().with_num_nodes(n);
 

@@ -2,8 +2,8 @@
 //!
 //! These stand in for the paper's nine real-world datasets (DESIGN.md §4):
 //! web crawls are modelled by the [`copying`] model (power-law in-degrees
-//! with locally dense neighbourhoods), social networks by [`rmat`] and
-//! [`ba`] (preferential attachment), collaboration networks by symmetrised
+//! with locally dense neighbourhoods), social networks by [`rmat`](mod@rmat)
+//! and [`ba`] (preferential attachment), collaboration networks by symmetrised
 //! [`chung_lu`] power-law graphs. [`shapes`] provides the small deterministic
 //! graphs used throughout the test suites.
 //!

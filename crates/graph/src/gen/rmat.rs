@@ -62,7 +62,10 @@ pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
     let max_attempts = m.saturating_mul(100).max(10_000);
     while seen.len() < m {
         attempts += 1;
-        assert!(attempts <= max_attempts, "R-MAT failed to place {m} distinct edges");
+        assert!(
+            attempts <= max_attempts,
+            "R-MAT failed to place {m} distinct edges"
+        );
         let (mut s, mut t) = (0usize, 0usize);
         for _ in 0..scale {
             s <<= 1;
@@ -129,6 +132,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_params() {
-        rmat(4, 10, RmatParams { a: 0.9, b: 0.9, c: 0.0, d: 0.0 }, 1);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            1,
+        );
     }
 }

@@ -59,7 +59,10 @@ impl MutableGraph {
     /// Panics if either endpoint is out of range.
     pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
         let n = self.num_nodes();
-        assert!((src as usize) < n && (dst as usize) < n, "edge endpoint out of range");
+        assert!(
+            (src as usize) < n && (dst as usize) < n,
+            "edge endpoint out of range"
+        );
         let outs = &mut self.outs[src as usize];
         match outs.binary_search(&dst) {
             Ok(_) => false,
@@ -77,7 +80,10 @@ impl MutableGraph {
     /// Removes edge `(src, dst)`. Returns `false` if it did not exist.
     pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
         let n = self.num_nodes();
-        assert!((src as usize) < n && (dst as usize) < n, "edge endpoint out of range");
+        assert!(
+            (src as usize) < n && (dst as usize) < n,
+            "edge endpoint out of range"
+        );
         let outs = &mut self.outs[src as usize];
         match outs.binary_search(&dst) {
             Err(_) => false,

@@ -60,7 +60,11 @@ impl GraphStats {
             max_out_degree: max_out,
             sources,
             sinks,
-            reciprocity: if m == 0 { 0.0 } else { reciprocal as f64 / m as f64 },
+            reciprocity: if m == 0 {
+                0.0
+            } else {
+                reciprocal as f64 / m as f64
+            },
         }
     }
 }

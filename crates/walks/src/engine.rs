@@ -20,8 +20,14 @@ impl WalkParams {
     /// # Panics
     /// Panics unless `0 < c < 1`.
     pub fn new(c: f64) -> Self {
-        assert!(c > 0.0 && c < 1.0, "decay factor must lie in (0,1), got {c}");
-        Self { c, sqrt_c: c.sqrt() }
+        assert!(
+            c > 0.0 && c < 1.0,
+            "decay factor must lie in (0,1), got {c}"
+        );
+        Self {
+            c,
+            sqrt_c: c.sqrt(),
+        }
     }
 }
 
@@ -208,12 +214,18 @@ mod tests {
             "step-1 survival {frac:.3} vs √c {:.3}",
             params.sqrt_c
         );
-        assert!(visits.levels[1].is_empty(), "leaves are sources; no level 2");
+        assert!(
+            visits.levels[1].is_empty(),
+            "leaves are sources; no level 2"
+        );
         // Each leaf gets ≈ √c/4 of the walks.
         for leaf in 1..5 {
             let cnt = *visits.levels[0].get(&(leaf as NodeId)).unwrap_or(&0);
             let f = cnt as f64 / 40_000.0;
-            assert!((f - params.sqrt_c / 4.0).abs() < 0.01, "leaf {leaf}: {f:.3}");
+            assert!(
+                (f - params.sqrt_c / 4.0).abs() < 0.01,
+                "leaf {leaf}: {f:.3}"
+            );
         }
     }
 

@@ -67,7 +67,10 @@ mod tests {
         let p = WalkParams::new(0.6);
         let serial = pairwise_simrank_mc(&g, 0, 1, p, 100_000, 1);
         let par = pairwise_simrank_mc_parallel(&g, 0, 1, p, 100_000, 2, 4);
-        assert!((serial - par).abs() < 0.01, "serial {serial} parallel {par}");
+        assert!(
+            (serial - par).abs() < 0.01,
+            "serial {serial} parallel {par}"
+        );
         assert!((par - 0.3).abs() < 0.01);
     }
 

@@ -12,9 +12,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use simpush::{Config, SimPush};
 use simrank_suite::baselines::{SimRankMethod, Sling};
 use simrank_suite::prelude::*;
-use simpush::{Config, SimPush};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
     );
     let mut live = MutableGraph::from_csr(&base);
     let n = live.num_nodes();
-    println!("social graph: {n} nodes, {} edges (live, mutable)", live.num_edges());
+    println!(
+        "social graph: {n} nodes, {} edges (live, mutable)",
+        live.num_edges()
+    );
 
     let engine = SimPush::new(Config::new(0.02));
     let mut rng = SmallRng::seed_from_u64(99);

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use simrank_suite::prelude::*;
 use simpush::{Config, SimPush};
+use simrank_suite::prelude::*;
 
 fn main() {
     // A small synthetic web graph: 10k pages, 5 out-links each, pages tend
@@ -33,7 +33,10 @@ fn main() {
     let st = &result.stats;
     println!("\nquery anatomy:");
     println!("  level detection walks : {}", st.num_walks);
-    println!("  max level L           : {} (cap L* = {})", st.level, st.l_star);
+    println!(
+        "  max level L           : {} (cap L* = {})",
+        st.level, st.l_star
+    );
     println!("  attention nodes       : {}", st.num_attention);
     println!("  source-graph entries  : {}", st.gu_total_entries);
     println!("  total time            : {:.2?}", st.time_total);

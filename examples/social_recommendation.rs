@@ -10,8 +10,8 @@
 //! cargo run --release --example social_recommendation
 //! ```
 
-use simrank_suite::prelude::*;
 use simpush::{Config, SimPush};
+use simrank_suite::prelude::*;
 
 fn main() {
     // Undirected friendship network (symmetrised power-law graph, the
@@ -57,8 +57,6 @@ fn main() {
     }
     println!(
         "\nquery took {:.2?} with {} attention nodes at L = {}",
-        result.stats.time_total,
-        result.stats.num_attention,
-        result.stats.level
+        result.stats.time_total, result.stats.num_attention, result.stats.level
     );
 }

@@ -6,8 +6,8 @@
 //! cargo run --release --example stage_anatomy
 //! ```
 
-use simrank_suite::prelude::*;
 use simpush::{Config, SimPush};
+use simrank_suite::prelude::*;
 
 fn main() {
     let graph = simrank_suite::graph::gen::rmat(

@@ -9,9 +9,9 @@
 //! cargo run --release --example web_page_similarity
 //! ```
 
+use simpush::{Config, SimPush};
 use simrank_suite::baselines::{ProbeSim, SimRankMethod};
 use simrank_suite::prelude::*;
-use simpush::{Config, SimPush};
 use std::time::Instant;
 
 fn main() {
@@ -40,7 +40,10 @@ fn main() {
     let ps_top = simrank_suite::eval::metrics::top_k_nodes(&ps_scores, k, page);
 
     println!("\nrelated pages for page {page} (top {k}):");
-    println!("{:<6} {:>18} {:>22}", "rank", "SimPush (node,s̃)", "ProbeSim (node)");
+    println!(
+        "{:<6} {:>18} {:>22}",
+        "rank", "SimPush (node,s̃)", "ProbeSim (node)"
+    );
     for i in 0..k {
         let sp_cell = sp_top
             .get(i)
@@ -49,10 +52,7 @@ fn main() {
         println!("{:<6} {:>18} {:>22}", i + 1, sp_cell, ps_cell);
     }
 
-    let overlap = sp_top
-        .iter()
-        .filter(|(v, _)| ps_top.contains(v))
-        .count();
+    let overlap = sp_top.iter().filter(|(v, _)| ps_top.contains(v)).count();
     println!("\ntop-{k} overlap: {overlap}/{k}");
     println!("SimPush : {sp_time:.2?}");
     println!("ProbeSim: {ps_time:.2?}");

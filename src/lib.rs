@@ -24,5 +24,5 @@ pub mod prelude {
     pub use simrank_common::NodeId;
     pub use simrank_graph::gen::shapes;
     pub use simrank_graph::{CsrGraph, GraphBuilder, GraphView, MutableGraph};
-    pub use simrank_walks::{WalkParams, pairwise_simrank_mc};
+    pub use simrank_walks::{pairwise_simrank_mc, WalkParams};
 }

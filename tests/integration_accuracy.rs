@@ -1,11 +1,11 @@
 //! Cross-crate accuracy validation: every method against the exact power
 //! method on shared small graphs, each within its configured error regime.
 
+use simpush::{Config, SimPush};
 use simrank_suite::baselines::{
     power_method, PrSim, ProbeSim, Reads, SimRankMethod, Sling, TopSim, Tsf,
 };
 use simrank_suite::prelude::*;
-use simpush::{Config, SimPush};
 
 /// A small but structurally interesting graph: shared parents, hubs,
 /// multi-level paths and a few cycles.
@@ -130,7 +130,9 @@ fn all_methods_agree_on_the_top_result_of_an_easy_query() {
         .build();
 
     let mut methods: Vec<Box<dyn SimRankMethod>> = vec![
-        Box::new(simrank_suite::eval::methods::SimPushMethod::new(Config::new(0.01))),
+        Box::new(simrank_suite::eval::methods::SimPushMethod::new(
+            Config::new(0.01),
+        )),
         Box::new(ProbeSim::new(0.05, 1)),
         Box::new(TopSim::new(3, 1000)),
         Box::new(Sling::new(0.005, 1500, 2)),

@@ -1,9 +1,9 @@
 //! The dynamic-graph story: index-free methods answer on the live graph,
 //! index-based answers go stale.
 
+use simpush::{Config, SimPush};
 use simrank_suite::baselines::{SimRankMethod, Sling};
 use simrank_suite::prelude::*;
-use simpush::{Config, SimPush};
 
 #[test]
 fn simpush_results_identical_on_mutable_and_csr_views() {
@@ -57,7 +57,10 @@ fn index_based_answers_go_stale_after_updates() {
     live.remove_edge(2, 1);
     // SLING still answers from the stale index/snapshot…
     let stale = sling.query(&snapshot, 0)[1];
-    assert!((stale - before).abs() < 1e-12, "index does not see the update");
+    assert!(
+        (stale - before).abs() < 1e-12,
+        "index does not see the update"
+    );
     // …while the truth (and any index-free method) sees s(0,1) = 0.
     let fresh = SimPush::new(Config::exact(0.001)).query(&live, 0).scores[1];
     assert_eq!(fresh, 0.0);

@@ -1,9 +1,9 @@
 //! Property-based tests (proptest) on the core invariants.
 
 use proptest::prelude::*;
+use simpush::{Config, SimPush};
 use simrank_suite::baselines::power_method;
 use simrank_suite::prelude::*;
-use simpush::{Config, SimPush};
 
 /// Strategy: a random directed graph as (n, edge list).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {

@@ -1,0 +1,279 @@
+//! Vendored, dependency-free stand-in for the [`bytes`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the slice of `bytes` used by the graph binary snapshot format is
+//! reimplemented here under the same crate name:
+//!
+//! * [`Bytes`] — a cheaply cloneable, sliceable, reference-counted byte
+//!   buffer with cursor-style [`Buf`] reads.
+//! * [`BytesMut`] — an appendable buffer with [`BufMut`] little-endian
+//!   writers that [`freeze`](BytesMut::freeze)s into [`Bytes`].
+//!
+//! Only the methods the workspace calls are provided; the split/reserve
+//! machinery of the real crate is deliberately absent.
+//!
+//! ```
+//! use bytes::{Buf, BufMut, BytesMut};
+//!
+//! let mut buf = BytesMut::with_capacity(16);
+//! buf.put_slice(b"hi");
+//! buf.put_u32_le(7);
+//! let mut bytes = buf.freeze();
+//! assert_eq!(bytes.len(), 6);
+//! let mut tag = [0u8; 2];
+//! bytes.copy_to_slice(&mut tag);
+//! assert_eq!(&tag, b"hi");
+//! assert_eq!(bytes.get_u32_le(), 7);
+//! assert_eq!(bytes.remaining(), 0);
+//! ```
+//!
+//! [`bytes`]: https://crates.io/crates/bytes
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Cursor-style reader over a byte buffer.
+///
+/// Every read consumes from the front; [`remaining`](Buf::remaining)
+/// reports how many bytes are left. Reads past the end panic, matching the
+/// real crate.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst`, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Appending writer over a growable byte buffer.
+pub trait BufMut {
+    /// Appends all of `src`.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A cheaply cloneable, sliceable view into reference-counted bytes.
+///
+/// [`Buf`] reads advance an internal cursor; [`len`](Bytes::len) and
+/// comparisons always refer to the *unread* portion, which matches how the
+/// real crate's `Bytes` consumes itself during parsing.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Length of the unread portion.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a view of `range` (relative to the unread portion) sharing
+    /// the same allocation.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(range.end <= self.len(), "slice range out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Copies the unread portion into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        v.to_vec().into()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "read past end of Bytes");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+/// An appendable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"SRG1");
+        buf.put_u64_le(0xDEAD_BEEF_0123_4567);
+        buf.put_u32_le(42);
+        buf.put_u8(9);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 17);
+        let mut magic = [0u8; 4];
+        b.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"SRG1");
+        assert_eq!(b.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(b.get_u32_le(), 42);
+        assert_eq!(b.get_u8(), 9);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_narrows() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.to_vec(), vec![1, 2, 3]);
+        let ss = s.slice(1..2);
+        assert_eq!(ss.to_vec(), vec![2]);
+        assert_eq!(b.len(), 6, "parent untouched");
+    }
+
+    #[test]
+    fn reads_advance_the_view() {
+        let mut b = Bytes::from(vec![1, 0, 0, 0, 7]);
+        assert_eq!(b.get_u32_le(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.to_vec(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        b.get_u32_le();
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![9, 1, 2]);
+        a.get_u8();
+        assert_eq!(a, Bytes::from(vec![1, 2]));
+    }
+}

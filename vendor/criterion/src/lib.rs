@@ -1,0 +1,279 @@
+//! Vendored, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the subset of criterion's API used by the five `crates/bench` targets is
+//! reimplemented here: [`Criterion::benchmark_group`], group
+//! [`bench_function`](BenchmarkGroup::bench_function) /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input) /
+//! [`sample_size`](BenchmarkGroup::sample_size), [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery this shim runs a short
+//! warm-up, then times `sample_size` batches and reports the fastest batch
+//! (per-iteration mean of the best batch — a low-noise point estimate) on
+//! stdout as:
+//!
+//! ```text
+//! group/id ... 1234 ns/iter (best of 10 × 100)
+//! ```
+//!
+//! Numbers are comparable run-to-run on a quiet machine but carry no
+//! confidence intervals; swap the real crate back in for publication-grade
+//! measurements.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc");
+//! group.sample_size(10);
+//! group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+//! group.finish();
+//! ```
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`; holds global defaults.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named benchmark identifier, optionally `function/parameter` shaped.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, rendered
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark in this group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value (criterion's way of
+    /// keeping setup out of the timed region).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Ends the group. (The real crate emits summary plots here; the shim
+    /// has already printed per-benchmark lines.)
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    best_per_iter_ns: f64,
+    batch: u64,
+    ran: bool,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            best_per_iter_ns: f64::INFINITY,
+            batch: 0,
+            ran: false,
+        }
+    }
+
+    /// Runs `f` repeatedly and records the fastest timed batch.
+    ///
+    /// The batch size is chosen from one calibration call so that a batch
+    /// takes roughly a millisecond, keeping timer quantisation out of the
+    /// per-iteration estimate for nanosecond-scale bodies.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.ran = true;
+        let calibrate = Instant::now();
+        black_box(f());
+        let once = calibrate.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.batch = batch;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / batch as f64;
+            if per_iter < self.best_per_iter_ns {
+                self.best_per_iter_ns = per_iter;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        assert!(
+            self.ran,
+            "benchmark {group}/{id} never called Bencher::iter"
+        );
+        println!(
+            "{group}/{id} ... {:.0} ns/iter (best of {} × {})",
+            self.best_per_iter_ns, self.sample_size, self.batch
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro: each
+/// target is a `fn(&mut Criterion)` run in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, running each
+/// [`criterion_group!`] in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0, "closure was exercised");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| black_box(d.iter().sum::<u64>()))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).id, "0.5");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    #[should_panic(expected = "never called Bencher::iter")]
+    fn missing_iter_is_detected() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.bench_function("noop", |_b| {});
+    }
+}

@@ -1,0 +1,102 @@
+//! Vendored, dependency-free stand-in for the [`crossbeam`] crate's scoped
+//! threads, backed by [`std::thread::scope`] (stable since Rust 1.63).
+//!
+//! The build environment for this workspace has no access to crates.io.
+//! The workspace only uses `crossbeam::scope(|s| { s.spawn(|_| …) })`, so
+//! that is all this shim provides: the same call shape, with spawn closures
+//! receiving a `&Scope` argument (conventionally ignored as `|_|`) and
+//! handles joined through the std [`ScopedJoinHandle`].
+//!
+//! ```
+//! let total: usize = crossbeam::scope(|scope| {
+//!     let handles: Vec<_> = (0..4)
+//!         .map(|i| scope.spawn(move |_| i * 10))
+//!         .collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).sum()
+//! })
+//! .expect("worker thread panicked");
+//! assert_eq!(total, 60);
+//! ```
+//!
+//! [`crossbeam`]: https://crates.io/crates/crossbeam
+
+#![warn(missing_docs)]
+
+use std::thread::ScopedJoinHandle;
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+///
+/// Wraps [`std::thread::Scope`]; obtained through [`scope`] and passed by
+/// reference both to the scope closure and to every spawned closure (the
+/// latter mirrors crossbeam's nested-spawn capability).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread running `f`, which receives this scope so it
+    /// can spawn further threads. Returns the std join handle; `join()`
+    /// yields `Err` if the thread panicked.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before this returns.
+///
+/// Matches crossbeam's signature by returning a `Result`: the error side
+/// carries a panic payload. With this std-backed implementation an
+/// unhandled child panic propagates out of [`std::thread::scope`] instead,
+/// so the returned value is always `Ok` — callers' `.expect(…)` unwraps
+/// stay correct either way.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_borrow_and_sum() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let sum: u64 = crate::scope(|scope| {
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let a = scope.spawn(move |_| lo.iter().sum::<u64>());
+            let b = scope.spawn(move |_| hi.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .expect("scope failed");
+        assert_eq!(sum, 15);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = crate::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn joined_panic_is_reported_by_handle() {
+        let caught = crate::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

@@ -1,0 +1,119 @@
+//! Collection strategies: [`vec`](fn@vec) and [`btree_set`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`](fn@vec).
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        let len = sample_len(&self.size, runner);
+        (0..len).map(|_| self.element.generate(runner)).collect()
+    }
+}
+
+/// Generates a `BTreeSet` whose size is drawn from `size` and whose
+/// elements come from `element`.
+///
+/// As in the real crate, the target size may be unreachable when the
+/// element domain is too small; generation keeps drawing until the set
+/// stops growing rather than looping forever, so the resulting set can be
+/// smaller than requested in that degenerate case.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        let target = sample_len(&self.size, runner);
+        let mut out = BTreeSet::new();
+        let mut stalled = 0usize;
+        while out.len() < target && stalled < 100 {
+            if out.insert(self.element.generate(runner)) {
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+        }
+        out
+    }
+}
+
+fn sample_len(size: &Range<usize>, runner: &mut TestRunner) -> usize {
+    if size.is_empty() {
+        size.start
+    } else {
+        runner.sample_range(size.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_len_and_elements_in_range() {
+        let mut r = TestRunner::for_test("vec");
+        let s = vec(10u32..20, 2..5);
+        for _ in 0..64 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (10..20).contains(x)));
+        }
+    }
+
+    #[test]
+    fn empty_size_range_yields_constant_len() {
+        let mut r = TestRunner::for_test("vec0");
+        let s = vec(0u32..5, 0..0);
+        assert!(s.generate(&mut r).is_empty());
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_domain_allows() {
+        let mut r = TestRunner::for_test("set");
+        let s = btree_set(0u32..10_000, 5..8);
+        for _ in 0..32 {
+            let out = s.generate(&mut r);
+            assert!((5..8).contains(&out.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_terminates_on_tiny_domain() {
+        let mut r = TestRunner::for_test("tiny");
+        let s = btree_set(0u32..2, 5..8);
+        let out = s.generate(&mut r);
+        assert!(out.len() <= 2);
+    }
+}

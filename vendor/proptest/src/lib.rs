@@ -1,0 +1,226 @@
+//! Vendored, offline stand-in for the [`proptest`] property-testing crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the subset of proptest used by `tests/prop_invariants.rs` is
+//! reimplemented here under the same crate name:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, …)`
+//!   items, with an optional `#![proptest_config(…)]` header;
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map), implemented for
+//!   half-open ranges, tuples and [`any`];
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Semantics differ from the real crate in one deliberate way: **there is
+//! no shrinking**. A failing case panics immediately with the case number;
+//! reproduce it by rerunning the test (generation is deterministic — each
+//! test's stream is seeded from its own name, overridable with the
+//! `PROPTEST_SEED` environment variable).
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+use strategy::Any;
+
+/// Per-invocation configuration, set via `#![proptest_config(…)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Types with a canonical "any value" strategy, backing [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(runner: &mut test_runner::TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(runner: &mut test_runner::TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(runner: &mut test_runner::TestRunner) -> Self {
+        runner.next_u64() >> 63 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(runner: &mut test_runner::TestRunner) -> Self {
+        // Finite, sign-balanced values are what property tests want to see
+        // most of the time; the real crate's NaN/∞ special cases are not
+        // exercised by this workspace.
+        (runner.next_u64() >> 11) as f64 * (2.0 / (1u64 << 53) as f64) - 1.0
+    }
+}
+
+/// The strategy generating any value of `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+/// One-stop imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestRunner;
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property holds; failure aborts the current case with a panic
+/// (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two expressions are equal, as [`prop_assert!`] does.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts two expressions are unequal, as [`prop_assert!`] does.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` generated
+/// inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the
+/// [`ProptestConfig`]; attributes written on each item (conventionally
+/// `#[test]`) are re-emitted on the generated zero-argument function.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: recursively expands each test
+/// item. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::for_test(stringify!($name));
+            for case in 0..config.cases {
+                runner.begin_case(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, y in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_threads_dependent_values(
+            pair in (2usize..10).prop_flat_map(|n| (0..n).prop_map(move |i| (n, i)))
+        ) {
+            let (n, i) = pair;
+            prop_assert!(i < n, "{i} < {n}");
+        }
+
+        #[test]
+        fn vec_sizes_in_range(v in crate::collection::vec(0u32..100, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn btree_set_hits_target_size(s in crate::collection::btree_set(0u32..1000, 2..6)) {
+            prop_assert!((2..6).contains(&s.len()));
+        }
+
+        #[test]
+        fn tuples_and_any(t in (any::<bool>(), 0u32..4, 0u32..4)) {
+            let (_flag, a, b) = t;
+            prop_assert!(a < 4 && b < 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = crate::test_runner::TestRunner::for_test("fixed");
+        let mut b = crate::test_runner::TestRunner::for_test("fixed");
+        let s = 0u64..u64::MAX;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

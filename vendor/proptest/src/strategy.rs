@@ -1,0 +1,182 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRunner;
+use crate::Arbitrary;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of [`Self::Value`].
+///
+/// The real crate's strategies produce *value trees* that support
+/// shrinking; this shim generates plain values, so combinators are thin
+/// wrappers around closures.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value — the way to
+    /// generate, e.g., an index that must be smaller than a generated size.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.generate(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.source.generate(runner)).generate(runner)
+    }
+}
+
+/// Strategy returned by [`any`](crate::any).
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Any<T> {
+    pub(crate) fn new() -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary_value(runner)
+    }
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.sample_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.0.generate(runner), self.1.generate(runner))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (
+            self.0.generate(runner),
+            self.1.generate(runner),
+            self.2.generate(runner),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (
+            self.0.generate(runner),
+            self.1.generate(runner),
+            self.2.generate(runner),
+            self.3.generate(runner),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn map_applies() {
+        let mut r = TestRunner::for_test("map");
+        let doubled = (1u32..10).prop_map(|x| x * 2);
+        for _ in 0..64 {
+            let v = doubled.generate(&mut r);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_sees_source_value() {
+        let mut r = TestRunner::for_test("flat_map");
+        let s = (1usize..8).prop_flat_map(|n| (0..n).prop_map(move |i| (n, i)));
+        for _ in 0..64 {
+            let (n, i) = s.generate(&mut r);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn tuple_components_are_independent_draws() {
+        let mut r = TestRunner::for_test("tuple");
+        let s = (0u32..100, 0u32..100);
+        let mut differ = false;
+        for _ in 0..32 {
+            let (a, b) = s.generate(&mut r);
+            differ |= a != b;
+        }
+        assert!(differ, "independent draws should differ at least once");
+    }
+}
