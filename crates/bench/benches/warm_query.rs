@@ -1,0 +1,100 @@
+//! Cold vs warm repeated queries: the payoff of [`QueryWorkspace`] reuse.
+//!
+//! *Cold* answers every query on a brand-new workspace (the allocation
+//! profile of the pre-workspace engine); *warm* reuses one workspace across
+//! all of them, which after the first query performs zero heap allocations
+//! in the push stages. The same comparison, machine-readable, is emitted by
+//! the `bench_json` binary into `BENCH_warm_query.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simpush::{Config, QueryWorkspace, SimPush};
+use simrank_graph::gen;
+use std::hint::black_box;
+
+fn graph() -> simrank_graph::CsrGraph {
+    gen::copying_web(50_000, 8, 0.75, 7)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let g = graph();
+    let engine = SimPush::new(Config::new(0.02));
+    let u = 31_337;
+    let mut group = c.benchmark_group("warm_query/repeat");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut ws = QueryWorkspace::new();
+            black_box(engine.query_with(&g, u, &mut ws))
+        })
+    });
+    let mut ws = QueryWorkspace::new();
+    engine.query_with(&g, u, &mut ws); // prime the pools once
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(engine.query_with(&g, u, &mut ws)))
+    });
+    group.finish();
+}
+
+fn bench_cold_vs_warm_across_epsilon(c: &mut Criterion) {
+    // Tighter ε ⇒ deeper Gu and bigger frontiers ⇒ more allocation churn
+    // for the cold path to pay.
+    let g = graph();
+    let u = 31_337;
+    let mut group = c.benchmark_group("warm_query/epsilon");
+    group.sample_size(10);
+    for eps in [0.05, 0.02, 0.01] {
+        let engine = SimPush::new(Config::new(eps));
+        group.bench_with_input(BenchmarkId::new("cold", eps), &eps, |b, _| {
+            b.iter(|| {
+                let mut ws = QueryWorkspace::new();
+                black_box(engine.query_with(&g, u, &mut ws))
+            })
+        });
+        let mut ws = QueryWorkspace::new();
+        engine.query_with(&g, u, &mut ws);
+        group.bench_with_input(BenchmarkId::new("warm", eps), &eps, |b, _| {
+            b.iter(|| black_box(engine.query_with(&g, u, &mut ws)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_query_mix(c: &mut Criterion) {
+    // A serving-shaped workload: one workspace, rotating query nodes (the
+    // pools must absorb differing Gu shapes, not just one hot entry).
+    let g = graph();
+    let engine = SimPush::new(Config::new(0.02));
+    let queries: Vec<u32> = (0..16).map(|i| i * 3_001 + 7).collect();
+    let mut group = c.benchmark_group("warm_query/mix16");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut ws = QueryWorkspace::new();
+            let u = queries[i % queries.len()];
+            i += 1;
+            black_box(engine.query_with(&g, u, &mut ws))
+        })
+    });
+    let mut ws = QueryWorkspace::new();
+    for &u in &queries {
+        engine.query_with(&g, u, &mut ws);
+    }
+    group.bench_function("warm", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let u = queries[i % queries.len()];
+            i += 1;
+            black_box(engine.query_with(&g, u, &mut ws))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm,
+    bench_cold_vs_warm_across_epsilon,
+    bench_warm_query_mix
+);
+criterion_main!(benches);

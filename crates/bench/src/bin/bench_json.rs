@@ -1,0 +1,119 @@
+//! `bench_json` — machine-readable cold-vs-warm query benchmark snapshot.
+//!
+//! Runs the `warm_query` comparison (cold: fresh [`QueryWorkspace`] per
+//! query; warm: one reused workspace) on a mid-size synthetic web graph and
+//! writes the timings as JSON, so the perf trajectory of the workspace
+//! refactor stays comparable across PRs without parsing criterion output.
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin bench_json [OUT.json]
+//! ```
+//!
+//! Default output path: `BENCH_warm_query.json` in the current directory.
+//! Timings are the best (minimum) per-query mean across `ROUNDS` rounds
+//! after a warm-up round — the same low-noise point estimate the vendored
+//! criterion shim reports — in nanoseconds alongside the speedup ratio.
+
+use simpush::{Config, QueryWorkspace, SimPush};
+use simrank_graph::gen;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Graph size: big enough for realistic allocation churn, small enough that
+/// the snapshot regenerates in seconds.
+const NODES: usize = 50_000;
+const OUT_DEG: usize = 8;
+const COPY_PROB: f64 = 0.75;
+const GRAPH_SEED: u64 = 7;
+const EPSILON: f64 = 0.02;
+const ROUNDS: usize = 10;
+
+/// Best (minimum) per-query mean in nanoseconds for the cold and warm
+/// paths, with the rounds of both paths interleaved so scheduler noise and
+/// frequency drift hit them symmetrically instead of whichever loop ran
+/// second.
+fn measure(g: &simrank_graph::CsrGraph, engine: &SimPush, queries: &[u32]) -> (u64, u64) {
+    // Warm-up both paths (also primes the graph into cache) and the reused
+    // workspace.
+    let mut ws = QueryWorkspace::new();
+    for &u in queries {
+        engine.query_with(g, u, &mut ws);
+    }
+    let mut cold_ns = u64::MAX;
+    let mut warm_ns = u64::MAX;
+    for _ in 0..ROUNDS {
+        // Cold: a fresh workspace per query — the pre-workspace allocation
+        // profile.
+        let t = Instant::now();
+        for &u in queries {
+            let mut fresh = QueryWorkspace::new();
+            std::hint::black_box(engine.query_with(g, u, &mut fresh));
+        }
+        cold_ns = cold_ns.min((t.elapsed().as_nanos() / queries.len() as u128) as u64);
+
+        // Warm: one long-lived workspace across every query.
+        let t = Instant::now();
+        for &u in queries {
+            std::hint::black_box(engine.query_with(g, u, &mut ws));
+        }
+        warm_ns = warm_ns.min((t.elapsed().as_nanos() / queries.len() as u128) as u64);
+    }
+    (cold_ns, warm_ns)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_warm_query.json".to_owned());
+
+    let g = gen::copying_web(NODES, OUT_DEG, COPY_PROB, GRAPH_SEED);
+    let queries: Vec<u32> = (0..16).map(|i| i * 3_001 + 7).collect();
+
+    // Two detection modes bracket the workload spectrum: Monte-Carlo is the
+    // paper's realtime setting (sampling-dominated — the walk stage runs
+    // 60k+ RNG walks and dwarfs the push stages), exact is push-dominated
+    // (every level pushed, no sampling) and shows the allocation churn the
+    // workspace removes at full scale.
+    let mc = SimPush::new(Config::new(EPSILON));
+    let (mc_cold, mc_warm) = measure(&g, &mc, &queries);
+    let exact = SimPush::new(Config::exact(EPSILON));
+    let (exact_cold, exact_warm) = measure(&g, &exact, &queries);
+
+    let mut json = String::new();
+    // Hand-rolled JSON: the workspace intentionally has no serde.
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"warm_query\",").unwrap();
+    writeln!(
+        json,
+        "  \"graph\": {{ \"family\": \"copying_web\", \"nodes\": {NODES}, \"out_degree\": {OUT_DEG}, \"copy_prob\": {COPY_PROB}, \"seed\": {GRAPH_SEED} }},"
+    )
+    .unwrap();
+    writeln!(json, "  \"epsilon\": {EPSILON},").unwrap();
+    writeln!(json, "  \"distinct_queries\": {},", queries.len()).unwrap();
+    writeln!(json, "  \"rounds\": {ROUNDS},").unwrap();
+    writeln!(json, "  \"mc_detection\": {{").unwrap();
+    writeln!(json, "    \"cold_ns_per_query\": {mc_cold},").unwrap();
+    writeln!(json, "    \"warm_ns_per_query\": {mc_warm},").unwrap();
+    writeln!(
+        json,
+        "    \"warm_speedup\": {:.3}",
+        mc_cold as f64 / mc_warm.max(1) as f64
+    )
+    .unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"exact_detection\": {{").unwrap();
+    writeln!(json, "    \"cold_ns_per_query\": {exact_cold},").unwrap();
+    writeln!(json, "    \"warm_ns_per_query\": {exact_warm},").unwrap();
+    writeln!(
+        json,
+        "    \"warm_speedup\": {:.3}",
+        exact_cold as f64 / exact_warm.max(1) as f64
+    )
+    .unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -11,8 +11,8 @@ fn main() {
     for (dataset, rows) in simrank_bench::by_dataset(&results) {
         println!("\n--- {dataset} ---");
         println!(
-            "{:<24} {:>12} {:>12}  {}",
-            "method", "AvgErr@50", "query(s)", "note"
+            "{:<24} {:>12} {:>12}  note",
+            "method", "AvgErr@50", "query(s)"
         );
         for r in &rows {
             println!(

@@ -11,8 +11,8 @@ fn main() {
     for (dataset, rows) in simrank_bench::by_dataset(&results) {
         println!("\n--- {dataset} ---");
         println!(
-            "{:<24} {:>10} {:>12}  {}",
-            "method", "Prec@50", "query(s)", "note"
+            "{:<24} {:>10} {:>12}  note",
+            "method", "Prec@50", "query(s)"
         );
         for r in &rows {
             println!(

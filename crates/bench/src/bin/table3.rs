@@ -17,7 +17,7 @@ fn main() {
     println!("Reverse-Push         O(m·log(1/ε))");
 
     let cfg_env = simrank_eval::runner::ExperimentConfig::from_env();
-    let queries_per_ds = cfg_env.num_queries.min(5).max(2);
+    let queries_per_ds = cfg_env.num_queries.clamp(2, 5);
     let data_dir = datasets::default_data_dir();
 
     println!("\n=== measured stage breakdown (averages over {queries_per_ds} queries) ===");

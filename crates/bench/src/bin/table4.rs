@@ -15,8 +15,8 @@ fn main() {
         datasets::env_scale()
     );
     println!(
-        "{:<16} {:>10} {:>12} {:>10} {:>9} {:>9} {:>11}  {}",
-        "name", "n", "m", "type", "max d_in", "max d_out", "reciprocity", "stands in for"
+        "{:<16} {:>10} {:>12} {:>10} {:>9} {:>9} {:>11}  stands in for",
+        "name", "n", "m", "type", "max d_in", "max d_out", "reciprocity"
     );
     for spec in datasets::registry() {
         let g = spec.load_or_generate(&data_dir);

@@ -62,7 +62,7 @@ pub fn run_figures_experiment() -> Vec<MethodResult> {
         datasets::env_scale(),
         ExperimentConfig::from_env().num_queries
     ));
-    let fresh = std::env::var("SIMRANK_FRESH").map_or(false, |v| v == "1");
+    let fresh = std::env::var("SIMRANK_FRESH").is_ok_and(|v| v == "1");
     if !fresh {
         if let Some(results) = load_results_csv(&cache) {
             eprintln!("[bench] loaded cached results from {}", cache.display());

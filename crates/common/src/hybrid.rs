@@ -8,6 +8,22 @@
 //! former, a dense array on the latter. `HybridMap` starts sparse and
 //! migrates itself to a dense array (with a touched-list for iteration) once
 //! its population crosses `universe / DENSE_DIVISOR`.
+//!
+//! # Iteration order and reuse
+//!
+//! Iteration always runs in **first-touch order**, in both backends. This is
+//! a hard guarantee, not an implementation detail: the push stages fold
+//! floating-point mass in iteration order, so any order that depended on
+//! hash-table capacity would make results drift between a cold query (fresh
+//! maps) and a warm query on a reused map whose tables kept their previous
+//! capacity. First-touch order is a pure function of the insertion sequence,
+//! which the push algorithms fully determine — so cold and warm runs are
+//! bit-identical, and so are runs before and after a sparse→dense migration.
+//!
+//! Maps are built to be pooled across queries: [`HybridMap::clear`] drops
+//! the entries but keeps every allocation (including the dense arrays once
+//! migrated), and [`HybridMap::reset`] additionally re-targets the map at a
+//! different node universe.
 
 use crate::hash::FxHashMap;
 use crate::NodeId;
@@ -22,20 +38,29 @@ use crate::NodeId;
 pub const DENSE_DIVISOR: usize = 8;
 
 enum Backend {
-    Sparse(FxHashMap<NodeId, f64>),
+    /// `slots` maps a key to its index in `touched`/`values`; `values[i]`
+    /// belongs to `touched[i]`, so iteration walks two parallel arrays in
+    /// first-touch order with no hash probes.
+    Sparse {
+        slots: FxHashMap<NodeId, u32>,
+        values: Vec<f64>,
+    },
     Dense {
         values: Vec<f64>,
-        /// Keys with a live entry, in first-touch order. Drives iteration and
-        /// O(touched) clearing.
-        touched: Vec<NodeId>,
         present: Vec<bool>,
     },
 }
 
 /// Adaptive node→score accumulator over a fixed universe `0..universe`.
+///
+/// Iterates in first-touch order in both backends; see the
+/// [module docs](self) for why that matters.
 pub struct HybridMap {
     universe: usize,
     dense_at: usize,
+    /// Keys with a live entry, in first-touch order. Drives iteration (both
+    /// backends) and O(touched) clearing of the dense backend.
+    touched: Vec<NodeId>,
     backend: Backend,
 }
 
@@ -52,7 +77,11 @@ impl HybridMap {
         Self {
             universe,
             dense_at,
-            backend: Backend::Sparse(FxHashMap::default()),
+            touched: Vec::new(),
+            backend: Backend::Sparse {
+                slots: FxHashMap::default(),
+                values: Vec::new(),
+            },
         }
     }
 
@@ -69,15 +98,12 @@ impl HybridMap {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        match &self.backend {
-            Backend::Sparse(m) => m.len(),
-            Backend::Dense { touched, .. } => touched.len(),
-        }
+        self.touched.len()
     }
 
     /// True when no entry is live.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.touched.is_empty()
     }
 
     /// Adds `delta` to the entry for `key`, creating it if absent.
@@ -94,21 +120,23 @@ impl HybridMap {
             self.universe
         );
         match &mut self.backend {
-            Backend::Sparse(m) => {
-                *m.entry(key).or_insert(0.0) += delta;
-                if m.len() > self.dense_at {
+            Backend::Sparse { slots, values } => {
+                let slot = *slots.entry(key).or_insert_with(|| {
+                    let i = values.len() as u32;
+                    values.push(0.0);
+                    self.touched.push(key);
+                    i
+                });
+                values[slot as usize] += delta;
+                if self.touched.len() > self.dense_at {
                     self.migrate();
                 }
             }
-            Backend::Dense {
-                values,
-                touched,
-                present,
-            } => {
+            Backend::Dense { values, present } => {
                 let i = key as usize;
                 if !present[i] {
                     present[i] = true;
-                    touched.push(key);
+                    self.touched.push(key);
                     values[i] = delta;
                 } else {
                     values[i] += delta;
@@ -126,21 +154,23 @@ impl HybridMap {
             self.universe
         );
         match &mut self.backend {
-            Backend::Sparse(m) => {
-                m.insert(key, value);
-                if m.len() > self.dense_at {
+            Backend::Sparse { slots, values } => {
+                let slot = *slots.entry(key).or_insert_with(|| {
+                    let i = values.len() as u32;
+                    values.push(0.0);
+                    self.touched.push(key);
+                    i
+                });
+                values[slot as usize] = value;
+                if self.touched.len() > self.dense_at {
                     self.migrate();
                 }
             }
-            Backend::Dense {
-                values,
-                touched,
-                present,
-            } => {
+            Backend::Dense { values, present } => {
                 let i = key as usize;
                 if !present[i] {
                     present[i] = true;
-                    touched.push(key);
+                    self.touched.push(key);
                 }
                 values[i] = value;
             }
@@ -151,10 +181,8 @@ impl HybridMap {
     #[inline]
     pub fn get(&self, key: NodeId) -> Option<f64> {
         match &self.backend {
-            Backend::Sparse(m) => m.get(&key).copied(),
-            Backend::Dense {
-                values, present, ..
-            } => {
+            Backend::Sparse { slots, values } => slots.get(&key).map(|&slot| values[slot as usize]),
+            Backend::Dense { values, present } => {
                 let i = key as usize;
                 if i < present.len() && present[i] {
                     Some(values[i])
@@ -177,17 +205,20 @@ impl HybridMap {
         self.get(key).is_some()
     }
 
-    /// Iterates over `(key, value)` pairs in unspecified order.
+    /// Iterates over `(key, value)` pairs in first-touch (insertion) order —
+    /// identical in both backends, so results never depend on hash-table
+    /// capacity or on when a migration happened.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        // Two concrete iterator types unified through an enum to avoid a
-        // boxed trait object on this hot path.
+        // Both arms walk `touched` with a direct value array at hand — no
+        // hash probes on this hot path.
         match &self.backend {
-            Backend::Sparse(m) => HybridIter::Sparse(m.iter()),
-            Backend::Dense {
-                values, touched, ..
-            } => HybridIter::Dense {
+            Backend::Sparse { values, .. } => HybridIter::Sparse {
+                touched: self.touched.iter(),
+                values: values.iter(),
+            },
+            Backend::Dense { values, .. } => HybridIter::Dense {
+                touched: self.touched.iter(),
                 values,
-                touched: touched.iter(),
             },
         }
     }
@@ -201,17 +232,42 @@ impl HybridMap {
         out
     }
 
-    /// Removes all entries, keeping allocations for reuse.
+    /// Removes all entries, keeping allocations (hash capacity, dense
+    /// arrays) for reuse.
     pub fn clear(&mut self) {
         match &mut self.backend {
-            Backend::Sparse(m) => m.clear(),
-            Backend::Dense {
-                touched, present, ..
-            } => {
-                for &k in touched.iter() {
+            Backend::Sparse { slots, values } => {
+                slots.clear();
+                values.clear();
+            }
+            Backend::Dense { present, .. } => {
+                for &k in &self.touched {
                     present[k as usize] = false;
                 }
-                touched.clear();
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Clears the map and re-targets it at node ids `0..universe`, keeping
+    /// every allocation that can be kept. A map that migrated to the dense
+    /// backend stays dense (its arrays are resized to the new universe) —
+    /// values and iteration order are backend-independent, so reusing a
+    /// dense map for a query that would have stayed sparse is safe.
+    ///
+    /// When the universe changes, the migration threshold returns to the
+    /// default `universe / DENSE_DIVISOR` policy, overriding any custom
+    /// [`with_threshold`](Self::with_threshold) value.
+    pub fn reset(&mut self, universe: usize) {
+        self.clear();
+        if universe != self.universe {
+            self.universe = universe;
+            self.dense_at = universe / DENSE_DIVISOR;
+            if let Backend::Dense { values, present } = &mut self.backend {
+                values.clear();
+                values.resize(universe, 0.0);
+                present.clear();
+                present.resize(universe, false);
             }
         }
     }
@@ -219,50 +275,48 @@ impl HybridMap {
     /// Approximate heap footprint in bytes (used by the Figure 6 memory
     /// accounting).
     pub fn logical_bytes(&self) -> usize {
+        let touched = self.touched.capacity() * std::mem::size_of::<NodeId>();
         match &self.backend {
-            Backend::Sparse(m) => {
-                // Entry (u32 key + f64 value) plus ~1 byte control per slot at
-                // the std hashbrown layout; capacity approximated by len/0.875.
-                m.capacity() * (std::mem::size_of::<(NodeId, f64)>() + 1)
+            Backend::Sparse { slots, values } => {
+                // Slot entry (u32 key + u32 index) plus ~1 byte control per
+                // slot at the std hashbrown layout, plus the value array.
+                touched
+                    + slots.capacity() * (std::mem::size_of::<(NodeId, u32)>() + 1)
+                    + values.capacity() * std::mem::size_of::<f64>()
             }
-            Backend::Dense {
-                values,
-                touched,
-                present,
-            } => {
-                values.capacity() * std::mem::size_of::<f64>()
-                    + touched.capacity() * std::mem::size_of::<NodeId>()
-                    + present.capacity()
+            Backend::Dense { values, present } => {
+                touched + values.capacity() * std::mem::size_of::<f64>() + present.capacity()
             }
         }
     }
 
     #[cold]
     fn migrate(&mut self) {
-        let Backend::Sparse(m) = &mut self.backend else {
+        let Backend::Sparse {
+            values: sparse_values,
+            ..
+        } = &mut self.backend
+        else {
             return;
         };
         let mut values = vec![0.0; self.universe];
         let mut present = vec![false; self.universe];
-        let mut touched = Vec::with_capacity(m.len() * 2);
-        for (&k, &v) in m.iter() {
+        for (&k, &v) in self.touched.iter().zip(sparse_values.iter()) {
             values[k as usize] = v;
             present[k as usize] = true;
-            touched.push(k);
         }
-        self.backend = Backend::Dense {
-            values,
-            touched,
-            present,
-        };
+        self.backend = Backend::Dense { values, present };
     }
 }
 
 enum HybridIter<'a> {
-    Sparse(std::collections::hash_map::Iter<'a, NodeId, f64>),
-    Dense {
-        values: &'a [f64],
+    Sparse {
         touched: std::slice::Iter<'a, NodeId>,
+        values: std::slice::Iter<'a, f64>,
+    },
+    Dense {
+        touched: std::slice::Iter<'a, NodeId>,
+        values: &'a [f64],
     },
 }
 
@@ -272,8 +326,10 @@ impl Iterator for HybridIter<'_> {
     #[inline]
     fn next(&mut self) -> Option<Self::Item> {
         match self {
-            HybridIter::Sparse(it) => it.next().map(|(&k, &v)| (k, v)),
-            HybridIter::Dense { values, touched } => {
+            HybridIter::Sparse { touched, values } => touched
+                .next()
+                .map(|&k| (k, *values.next().expect("parallel"))),
+            HybridIter::Dense { touched, values } => {
                 touched.next().map(|&k| (k, values[k as usize]))
             }
         }
@@ -281,8 +337,9 @@ impl Iterator for HybridIter<'_> {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         match self {
-            HybridIter::Sparse(it) => it.size_hint(),
-            HybridIter::Dense { touched, .. } => touched.size_hint(),
+            HybridIter::Sparse { touched, .. } | HybridIter::Dense { touched, .. } => {
+                touched.size_hint()
+            }
         }
     }
 }
@@ -349,6 +406,35 @@ mod tests {
     }
 
     #[test]
+    fn iteration_is_first_touch_order_in_both_backends() {
+        // The push stages fold floating-point mass in iteration order; the
+        // order must be the insertion sequence, independent of backend and
+        // of hash-table capacity (cold/warm bit-identity).
+        let keys = [13u32, 2, 99, 7, 50];
+        for threshold in [0usize, 2, 100] {
+            let mut m = HybridMap::with_threshold(100, threshold);
+            for (i, &k) in keys.iter().enumerate() {
+                m.add(k, i as f64);
+                m.add(k, 0.0); // re-touch must not reorder
+            }
+            let got: Vec<NodeId> = m.iter().map(|(k, _)| k).collect();
+            assert_eq!(got, keys, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn order_survives_mid_stream_migration() {
+        let mut m = HybridMap::new(32); // threshold 4: migrates on 5th key
+        let keys = [9u32, 1, 30, 4, 17, 2, 25];
+        for &k in &keys {
+            m.add(k, 1.0);
+        }
+        assert!(m.is_dense());
+        let got: Vec<NodeId> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(got, keys, "migration must preserve first-touch order");
+    }
+
+    #[test]
     fn clear_retains_backend_and_is_reusable() {
         let mut m = HybridMap::with_threshold(32, 0);
         m.add(1, 1.0);
@@ -359,6 +445,51 @@ mod tests {
         m.add(1, 2.0);
         assert_eq!(m.get(1), Some(2.0));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn reset_retargets_universe_in_sparse_backend() {
+        let mut m = HybridMap::new(8);
+        m.add(7, 1.0);
+        m.reset(100);
+        assert!(m.is_empty());
+        assert_eq!(m.universe(), 100);
+        m.add(99, 2.0); // would have panicked before the reset
+        assert_eq!(m.get(99), Some(2.0));
+        assert_eq!(m.get(7), None);
+    }
+
+    #[test]
+    fn reset_resizes_dense_arrays_up_and_down() {
+        let mut m = HybridMap::with_threshold(8, 0);
+        m.add(3, 7.0);
+        assert!(m.is_dense());
+
+        // Grow: dense map must accept keys in the larger universe.
+        m.reset(64);
+        assert!(m.is_dense(), "dense backend survives reuse");
+        assert_eq!(m.get(3), None, "reset clears old entries");
+        m.add(63, 1.5);
+        m.add(3, 2.5);
+        assert_eq!(m.get(63), Some(1.5));
+        assert_eq!(m.get(3), Some(2.5));
+        let got: Vec<NodeId> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(got, vec![63, 3], "first-touch order after reset");
+
+        // Shrink: out-of-universe keys must be rejected again.
+        m.reset(4);
+        m.add(3, 1.0);
+        assert_eq!(m.get(3), Some(1.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn reset_shrink_enforces_new_bound() {
+        let mut m = HybridMap::with_threshold(16, 0);
+        m.add(9, 1.0);
+        m.reset(4);
+        m.add(9, 1.0);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   accounting.
 //! * [`seeds`] — SplitMix64 seed derivation so that parallel samplers and
 //!   dataset generators are deterministic from a single master seed.
+//! * [`workspace`] — [`EpochVec`], an epoch-stamped dense scratch vector
+//!   with O(1) logical clear; the building block of the reusable per-query
+//!   workspaces that let a steady-state query loop allocate nothing.
 
 #![warn(missing_docs)]
 
@@ -27,10 +30,12 @@ pub mod hybrid;
 pub mod mem;
 pub mod seeds;
 pub mod timer;
+pub mod workspace;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hybrid::HybridMap;
 pub use timer::Timer;
+pub use workspace::EpochVec;
 
 /// Node identifier used across the workspace.
 ///

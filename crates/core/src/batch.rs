@@ -10,6 +10,7 @@
 
 use crate::config::Config;
 use crate::query::{QueryResult, SimPush};
+use crate::workspace::QueryWorkspace;
 use simrank_common::seeds::splitmix64;
 use simrank_common::NodeId;
 use simrank_graph::GraphView;
@@ -34,10 +35,28 @@ impl SimPush {
         SimPush::new(self.config_for(u)).query(g, u)
     }
 
-    /// Answers many single-source queries using `threads` workers.
+    /// Answers one query on caller-managed scratch with a per-query derived
+    /// seed — the warm building block the batch workers run; results are
+    /// bit-identical to [`query_seeded`](Self::query_seeded).
+    pub fn query_seeded_with<G: GraphView>(
+        &self,
+        g: &G,
+        u: NodeId,
+        ws: &mut QueryWorkspace,
+    ) -> QueryResult {
+        // Build a per-query engine for the derived seed; the engine itself
+        // is trivially cheap (config + an empty internal workspace) and the
+        // query runs on `ws`, so the worker's warm buffers are what's used.
+        SimPush::new(self.config_for(u)).query_with(g, u, ws)
+    }
+
+    /// Answers many single-source queries using `threads` workers, each
+    /// holding its own reused [`QueryWorkspace`] — steady-state batch
+    /// throughput allocates nothing in the push stages.
     ///
     /// Results are returned in input order and are bit-identical to calling
-    /// [`query_seeded`](Self::query_seeded) sequentially.
+    /// [`query_seeded`](Self::query_seeded) sequentially (workspace reuse
+    /// does not perturb scores — see the `prop_workspace` suite).
     pub fn query_batch<G: GraphView + Sync>(
         &self,
         g: &G,
@@ -46,7 +65,11 @@ impl SimPush {
     ) -> Vec<QueryResult> {
         let threads = threads.max(1).min(queries.len().max(1));
         if threads == 1 {
-            return queries.iter().map(|&u| self.query_seeded(g, u)).collect();
+            let mut ws = QueryWorkspace::new();
+            return queries
+                .iter()
+                .map(|&u| self.query_seeded_with(g, u, &mut ws))
+                .collect();
         }
         // Work-stealing via a shared counter; each worker returns its
         // (index, result) pairs and the scope merges them back into input
@@ -59,13 +82,16 @@ impl SimPush {
                 let next = &next;
                 let g = &g;
                 handles.push(scope.spawn(move |_| {
+                    // One workspace per worker thread, reused across every
+                    // query this worker steals.
+                    let mut ws = QueryWorkspace::new();
                     let mut mine = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= queries.len() {
                             return mine;
                         }
-                        mine.push((i, self.query_seeded(g, queries[i])));
+                        mine.push((i, self.query_seeded_with(g, queries[i], &mut ws)));
                     }
                 }));
             }

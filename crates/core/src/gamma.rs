@@ -15,17 +15,37 @@
 //! instead of the whole graph) is one of SimPush's key departures from
 //! SLING/PRSim.
 
-use crate::hitting::{AttentionHitting, AttentionIndex};
+use crate::hitting::AttentionIndex;
+use crate::workspace::GammaScratch;
 use simrank_common::FxHashMap;
 
-/// Computes `γ` for every attention node. `gammas[id]` corresponds to
-/// `att.nodes[id]`.
+/// Computes `γ` for every attention node with a fresh scratch (cold path).
+/// `gammas[id]` corresponds to `att.nodes[id]`.
+///
+/// Repeated-query callers should hold a
+/// [`QueryWorkspace`](crate::QueryWorkspace) and use [`compute_gammas_with`]
+/// — same values, bit for bit, but no per-query allocation.
 pub fn compute_gammas(
     att: &AttentionIndex,
-    att_hit: &AttentionHitting,
+    att_hit: &[FxHashMap<u32, f64>],
     max_level: usize,
 ) -> Vec<f64> {
-    let mut gammas = vec![1.0; att.len()];
+    let mut ws = GammaScratch::default();
+    compute_gammas_with(att, att_hit, max_level, &mut ws);
+    ws.gammas
+}
+
+/// Computes `γ` for every attention node, borrowing the output vector, the
+/// `ρ` table and the per-relative-level buckets from `ws`; afterwards
+/// `ws.gammas()` holds the values, indexed like `att.nodes`.
+pub fn compute_gammas_with(
+    att: &AttentionIndex,
+    att_hit: &[FxHashMap<u32, f64>],
+    max_level: usize,
+    ws: &mut GammaScratch,
+) {
+    ws.gammas.clear();
+    ws.gammas.resize(att.len(), 1.0);
     for w_id in 0..att.len() as u32 {
         let ell = att.level_of(w_id) as usize;
         let delta_l = max_level - ell;
@@ -35,17 +55,24 @@ pub fn compute_gammas(
         }
 
         // Group w's reachable attention targets by relative level i.
-        let mut by_i: Vec<Vec<(u32, f64)>> = vec![Vec::new(); delta_l + 1];
+        while ws.by_i.len() < delta_l + 1 {
+            ws.by_i.push(Vec::new());
+        }
+        let by_i = &mut ws.by_i[..delta_l + 1];
+        for bucket in by_i.iter_mut() {
+            bucket.clear();
+        }
         for (&tgt, &h) in row {
             let i = (att.level_of(tgt) as usize) - ell;
             by_i[i].push((tgt, h));
         }
         // Deterministic processing order regardless of hash iteration.
-        for bucket in &mut by_i {
+        for bucket in by_i.iter_mut() {
             bucket.sort_unstable_by_key(|&(id, _)| id);
         }
 
-        let mut rho: FxHashMap<u32, f64> = FxHashMap::default();
+        let by_i = &ws.by_i[..delta_l + 1];
+        ws.rho.clear();
         let mut total_first_meeting = 0.0;
         for i in 1..=delta_l {
             for &(wi, h_wi) in &by_i[i] {
@@ -55,7 +82,9 @@ pub fn compute_gammas(
                 // node wj and then walked wj → wi in lock-step.
                 for bucket in by_i.iter().take(i).skip(1) {
                     for &(wj, _) in bucket {
-                        let Some(&rho_j) = rho.get(&wj) else { continue };
+                        let Some(&rho_j) = ws.rho.get(&wj) else {
+                            continue;
+                        };
                         if rho_j == 0.0 {
                             continue;
                         }
@@ -67,13 +96,12 @@ pub fn compute_gammas(
                 // ρ is a probability; tiny negatives are floating-point
                 // cancellation artefacts.
                 let r = r.max(0.0);
-                rho.insert(wi, r);
+                ws.rho.insert(wi, r);
                 total_first_meeting += r;
             }
         }
-        gammas[w_id as usize] = (1.0 - total_first_meeting).clamp(0.0, 1.0);
+        ws.gammas[w_id as usize] = (1.0 - total_first_meeting).clamp(0.0, 1.0);
     }
-    gammas
 }
 
 #[cfg(test)]

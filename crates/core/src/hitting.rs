@@ -11,6 +11,7 @@
 //! `h̃^(i)(w', wi)` for all attention nodes `wi` above it.
 
 use crate::source_graph::SourceGraph;
+use crate::workspace::HittingScratch;
 use simrank_common::{FxHashMap, NodeId};
 use simrank_graph::GraphView;
 
@@ -19,25 +20,42 @@ use simrank_graph::GraphView;
 /// An attention node is a *(level, node)* pair — the same graph node may be
 /// an attention node on several levels (paper Fig. 1: `w_c` on levels 1 and
 /// 3) and each occurrence gets its own id, hitting rows, `γ` and residue.
+#[derive(Default)]
 pub struct AttentionIndex {
     /// `id → (level, node)`, ids assigned level-major, node-ascending.
     pub nodes: Vec<(u32, NodeId)>,
-    /// `level → ids at that level` (index 0 unused and empty).
+    /// `level → ids at that level` (index 0 unused and empty). May retain
+    /// cleared spare levels past the current query's `L` after an in-place
+    /// [`build_into`](Self::build_into) — consumers index by level, never by
+    /// `by_level.len()`.
     pub by_level: Vec<Vec<u32>>,
 }
 
 impl AttentionIndex {
     /// Builds the index from the source graph's attention sets.
     pub fn build(gu: &SourceGraph) -> Self {
-        let mut nodes = Vec::with_capacity(gu.num_attention());
-        let mut by_level = vec![Vec::new(); gu.levels.len()];
+        let mut index = Self::default();
+        index.build_into(gu);
+        index
+    }
+
+    /// Rebuilds the index in place, reusing the id and per-level buffers of
+    /// a previous query (same result as [`build`](Self::build), no
+    /// steady-state allocation).
+    pub fn build_into(&mut self, gu: &SourceGraph) {
+        self.nodes.clear();
+        for level in &mut self.by_level {
+            level.clear();
+        }
+        while self.by_level.len() < gu.levels.len() {
+            self.by_level.push(Vec::new());
+        }
         for (ell, level) in gu.levels.iter().enumerate().skip(1) {
             for &w in &level.attention {
-                by_level[ell].push(nodes.len() as u32);
-                nodes.push((ell as u32, w));
+                self.by_level[ell].push(self.nodes.len() as u32);
+                self.nodes.push((ell as u32, w));
             }
         }
-        Self { nodes, by_level }
     }
 
     /// Number of attention nodes.
@@ -68,32 +86,57 @@ impl AttentionIndex {
 /// where `Δℓ = level(tgt) − level(src) ≥ 1`.
 pub type AttentionHitting = Vec<FxHashMap<u32, f64>>;
 
-/// Runs Algorithm 3, returning the attention-to-attention hitting
-/// probabilities.
+/// Runs Algorithm 3 with a fresh scratch (cold path), returning the
+/// attention-to-attention hitting probabilities as an owned table.
+///
+/// Repeated-query callers should hold a
+/// [`QueryWorkspace`](crate::QueryWorkspace) and use
+/// [`attention_hitting_with`] — same rows, bit for bit, but no per-query
+/// allocation.
 pub fn attention_hitting<G: GraphView>(
     g: &G,
     gu: &SourceGraph,
     att: &AttentionIndex,
     sqrt_c: f64,
 ) -> AttentionHitting {
+    let mut ws = HittingScratch::default();
+    attention_hitting_with(g, gu, att, sqrt_c, &mut ws);
+    ws.att_hit.truncate(att.len());
+    ws.att_hit
+}
+
+/// Runs Algorithm 3, borrowing the push frontiers and the output rows from
+/// `ws`; afterwards `ws.att_hit()` holds `h̃` for the current query.
+///
+/// The frontier iterates in first-touch order (not hash order), so results
+/// never depend on capacity retained from previous queries — warm runs are
+/// bit-identical to cold ones.
+pub fn attention_hitting_with<G: GraphView>(
+    g: &G,
+    gu: &SourceGraph,
+    att: &AttentionIndex,
+    sqrt_c: f64,
+    ws: &mut HittingScratch,
+) {
     let max_level = gu.max_level();
-    let mut att_hit: AttentionHitting = vec![FxHashMap::default(); att.len()];
+    ws.reset(att.len());
     if max_level < 2 {
-        return att_hit; // a (src, tgt) pair needs two distinct levels ≥ 1
+        return; // a (src, tgt) pair needs two distinct levels ≥ 1
     }
 
-    // Rows at the level currently being processed:
+    // `ws.rows` holds the rows at the level currently being processed:
     // node → (target attention id → h̃).
-    let mut rows: FxHashMap<NodeId, FxHashMap<u32, f64>> = FxHashMap::default();
-
     for ell in (1..=max_level).rev() {
         // (a) Rows arriving at this level are now complete (they exclude the
         // not-yet-seeded self entries): record them for attention nodes.
         for &id in &att.by_level[ell] {
             let w = att.node_of(id);
-            if let Some(row) = rows.get(&w) {
+            if let Some(row) = ws.rows.get(w) {
                 if !row.is_empty() {
-                    att_hit[id as usize] = row.clone();
+                    let dst = &mut ws.att_hit[id as usize];
+                    for (&tgt, &p) in row {
+                        dst.insert(tgt, p);
+                    }
                 }
             }
         }
@@ -102,28 +145,30 @@ pub fn attention_hitting<G: GraphView>(
         }
         // (b) Seed h̃^(0)(w, w) = 1 for attention nodes at this level.
         for &id in &att.by_level[ell] {
-            rows.entry(att.node_of(id)).or_default().insert(id, 1.0);
+            ws.rows.row_mut(att.node_of(id)).insert(id, 1.0);
         }
         // (c) Push every row one level down `Gu`'s out-edges. The receiver's
         // in-degree within `Gu` equals its `G` in-degree (receivers live on
         // levels 1..L−1, all fully pushed by Source-Push).
         let below = &gu.levels[ell - 1].h;
-        let mut next: FxHashMap<NodeId, FxHashMap<u32, f64>> = FxHashMap::default();
-        for (wp, row) in &rows {
-            for &v in g.out_neighbors(*wp) {
+        let HittingScratch { rows, next, .. } = &mut *ws;
+        for (wp, row) in rows.iter() {
+            for &v in g.out_neighbors(wp) {
                 if !below.contains(v) {
                     continue; // edge not in Gu
                 }
                 let factor = sqrt_c / g.in_degree(v) as f64;
-                let entry = next.entry(v).or_default();
+                let entry = next.row_mut(v);
                 for (&tgt, &p) in row {
                     *entry.entry(tgt).or_insert(0.0) += factor * p;
                 }
             }
         }
-        rows = next;
+        // Take-and-return instead of reallocating: the processed frontier
+        // becomes next level's spare capacity.
+        std::mem::swap(&mut ws.rows, &mut ws.next);
+        ws.next.clear();
     }
-    att_hit
 }
 
 #[cfg(test)]

@@ -40,6 +40,17 @@
 //! Each stage is timed; [`QueryStats`] exposes the breakdown used to
 //! reproduce the paper's Table 3 and its in-text structural claims (average
 //! `L`, attention-node counts).
+//!
+//! # Workspace reuse (serving)
+//!
+//! Every stage borrows its buffers from a reusable [`QueryWorkspace`]
+//! instead of allocating per query: [`SimPush::query`] manages a
+//! lazily-grown engine-internal workspace, serving loops hold one per
+//! thread and call [`SimPush::query_with`], and
+//! [`SimPush::query_batch`](crate::SimPush::query_batch) gives each worker
+//! its own. Steady-state warm queries perform zero heap allocations in the
+//! push stages, and warm results are bit-identical to cold ones — see the
+//! [`workspace`] module docs for why.
 
 #![warn(missing_docs)]
 
@@ -51,7 +62,9 @@ pub mod query;
 pub mod reverse_push;
 pub mod source_graph;
 pub mod source_push;
+pub mod workspace;
 
 pub use config::{Config, LevelDetection, McBudget};
 pub use query::{QueryResult, QueryStats, SimPush};
 pub use source_graph::SourceGraph;
+pub use workspace::QueryWorkspace;

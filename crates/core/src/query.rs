@@ -2,20 +2,51 @@
 //! instrumentation.
 
 use crate::config::Config;
-use crate::gamma::compute_gammas;
-use crate::hitting::{attention_hitting, AttentionIndex};
-use crate::reverse_push::reverse_push;
-use crate::source_push::source_push;
+use crate::gamma::compute_gammas_with;
+use crate::hitting::attention_hitting_with;
+use crate::reverse_push::reverse_push_with;
+use crate::source_push::source_push_with;
+use crate::workspace::QueryWorkspace;
 use simrank_common::{NodeId, Timer};
 use simrank_graph::GraphView;
+use std::sync::{Mutex, TryLockError};
 use std::time::Duration;
 
-/// The SimPush query engine. Holds only configuration — there is no index,
-/// which is the point: construction is free and any [`GraphView`] (including
-/// a live, mutating graph) can be queried directly.
-#[derive(Debug, Clone)]
+/// The SimPush query engine. Holds the configuration plus a lazily-grown
+/// internal [`QueryWorkspace`] — there is no index, which is the point:
+/// construction is free and any [`GraphView`] (including a live, mutating
+/// graph) can be queried directly, while repeated [`query`](Self::query)
+/// calls reuse the engine's scratch buffers instead of reallocating them.
+///
+/// Callers that manage their own scratch (one workspace per serving thread)
+/// use [`query_with`](Self::query_with); both paths return bit-identical
+/// results.
 pub struct SimPush {
     config: Config,
+    /// Engine-internal scratch for [`query`](Self::query). A `Mutex` rather
+    /// than a `RefCell` so the engine stays `Sync`; acquired with
+    /// `try_lock` only — a contended call (several threads sharing one
+    /// engine) falls back to a fresh cold workspace instead of serializing,
+    /// so concurrent `query` calls stay as parallel as they were before the
+    /// engine held scratch. The batch driver's workers use their own
+    /// per-thread workspaces and never touch this one.
+    workspace: Mutex<QueryWorkspace>,
+}
+
+impl Clone for SimPush {
+    /// Clones the configuration; the clone starts with a fresh (empty)
+    /// internal workspace.
+    fn clone(&self) -> Self {
+        Self::new(self.config.clone())
+    }
+}
+
+impl std::fmt::Debug for SimPush {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPush")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Structural and timing statistics of one query — the source of the paper's
@@ -100,7 +131,10 @@ impl SimPush {
     /// Creates an engine with the given configuration.
     pub fn new(config: Config) -> Self {
         config.validate();
-        Self { config }
+        Self {
+            config,
+            workspace: Mutex::new(QueryWorkspace::new()),
+        }
     }
 
     /// The engine's configuration.
@@ -108,8 +142,43 @@ impl SimPush {
         &self.config
     }
 
-    /// Answers a single-source SimRank query for `u` (paper Algorithm 1).
+    /// Answers a single-source SimRank query for `u` (paper Algorithm 1)
+    /// using the engine's internal workspace: the first query grows the
+    /// scratch buffers, subsequent queries reuse them.
+    ///
+    /// Concurrent callers sharing one engine never serialize on the
+    /// internal workspace: if another query holds it, this call falls back
+    /// to a fresh (cold) workspace — results are bit-identical either way,
+    /// so the fallback costs allocation churn, not correctness or
+    /// parallelism. Threads that want guaranteed warm queries should own a
+    /// [`QueryWorkspace`] and call [`query_with`](Self::query_with).
     pub fn query<G: GraphView>(&self, g: &G, u: NodeId) -> QueryResult {
+        match self.workspace.try_lock() {
+            Ok(mut ws) => self.query_with(g, u, &mut ws),
+            // A poisoning panic mid-query can only leave stale scratch
+            // behind, and every stage clears its scratch before use — safe
+            // to reuse.
+            Err(TryLockError::Poisoned(poisoned)) => {
+                self.query_with(g, u, &mut poisoned.into_inner())
+            }
+            Err(TryLockError::WouldBlock) => self.query_with(g, u, &mut QueryWorkspace::new()),
+        }
+    }
+
+    /// Answers a single-source SimRank query for `u` with caller-managed
+    /// scratch — the warm path for serving loops and batch workers that hold
+    /// one [`QueryWorkspace`] per thread.
+    ///
+    /// Results are **bit-identical** to [`query`](Self::query) (pinned by
+    /// the `prop_workspace` property suite), and a steady-state call
+    /// performs zero heap allocations in the push stages: only the returned
+    /// score vector and the stats are freshly allocated.
+    pub fn query_with<G: GraphView>(
+        &self,
+        g: &G,
+        u: NodeId,
+        ws: &mut QueryWorkspace,
+    ) -> QueryResult {
         let total = Timer::start();
         let cfg = &self.config;
         let mut stats = QueryStats {
@@ -118,18 +187,18 @@ impl SimPush {
         };
 
         // Stage 1: Source-Push (detection sampling + level-wise push).
-        // `source_push` runs both; we time them together and attribute the
-        // split using the sampling walk count afterwards (sampling dominates
-        // stage 1 and is measured inside by re-running detection alone in
-        // instrumentation mode; to keep the hot path single-pass we report
-        // the combined figure under `time_source_push` when detection is
-        // exact).
+        // `source_push_with` runs both; we time them together and attribute
+        // the split using the sampling walk count afterwards (sampling
+        // dominates stage 1 and is measured inside by re-running detection
+        // alone in instrumentation mode; to keep the hot path single-pass we
+        // report the combined figure under `time_source_push` when detection
+        // is exact).
         let t = Timer::start();
-        let sp = source_push(g, u, cfg);
+        let sp = source_push_with(g, u, cfg, &mut ws.source);
         let stage1 = t.elapsed();
         // Attribute stage-1 time: with Monte-Carlo detection the sampling
-        // loop runs first inside `source_push`; its cost scales with the
-        // walk count and is the figure the paper's complexity analysis
+        // loop runs first inside `source_push_with`; its cost scales with
+        // the walk count and is the figure the paper's complexity analysis
         // tracks. We split proportionally to walks vs. push work to avoid a
         // second pass; exactness of the split is not relied on anywhere —
         // `time_stage1()` is what Table 3 reports.
@@ -153,19 +222,23 @@ impl SimPush {
 
         // Stage 2: hitting probabilities within Gu, then γ.
         let t = Timer::start();
-        let att = AttentionIndex::build(&gu);
-        let att_hit = attention_hitting(g, &gu, &att, cfg.sqrt_c());
+        ws.att.build_into(&gu);
+        attention_hitting_with(g, &gu, &ws.att, cfg.sqrt_c(), &mut ws.hitting);
         stats.time_hitting = t.elapsed();
 
         let t = Timer::start();
-        let gammas = compute_gammas(&att, &att_hit, gu.max_level());
+        compute_gammas_with(&ws.att, ws.hitting.att_hit(), gu.max_level(), &mut ws.gamma);
         stats.time_gamma = t.elapsed();
 
         // Stage 3: Reverse-Push.
         let t = Timer::start();
-        let mut scores = reverse_push(g, &gu, &att, &gammas, cfg);
+        reverse_push_with(g, &gu, &ws.att, ws.gamma.gammas(), cfg, &mut ws.reverse);
+        let mut scores = ws.reverse.materialize(g.num_nodes());
         scores[u as usize] = 1.0;
         stats.time_reverse_push = t.elapsed();
+
+        // Hand Gu's buffers back to the pools for the next query.
+        ws.recycle(gu);
 
         stats.time_total = total.elapsed();
         QueryResult {

@@ -12,11 +12,16 @@
 use crate::config::Config;
 use crate::hitting::AttentionIndex;
 use crate::source_graph::SourceGraph;
+use crate::workspace::ReverseScratch;
 use simrank_common::HybridMap;
 use simrank_graph::GraphView;
 
-/// Runs Reverse-Push and returns the raw score vector (diagonal not yet
-/// set — the caller finalises `s̃(u,u) = 1`).
+/// Runs Reverse-Push with a fresh scratch (cold path) and returns the raw
+/// score vector (diagonal not yet set — the caller finalises `s̃(u,u) = 1`).
+///
+/// Repeated-query callers should hold a
+/// [`QueryWorkspace`](crate::QueryWorkspace) and use [`reverse_push_with`] —
+/// same scores, bit for bit, but no per-query allocation in the push loop.
 pub fn reverse_push<G: GraphView>(
     g: &G,
     gu: &SourceGraph,
@@ -24,16 +29,44 @@ pub fn reverse_push<G: GraphView>(
     gammas: &[f64],
     cfg: &Config,
 ) -> Vec<f64> {
+    let mut ws = ReverseScratch::default();
+    reverse_push_with(g, gu, att, gammas, cfg, &mut ws);
+    ws.materialize(g.num_nodes())
+}
+
+/// Runs Reverse-Push, borrowing the per-level residue maps and the score
+/// accumulator from `ws`; afterwards `ws.scores()` holds the raw scores
+/// (diagonal not set).
+///
+/// The level loop reads level `ℓ`'s residues while writing level `ℓ − 1`'s
+/// through a `split_at_mut` borrow — a proper take-and-return on the pooled
+/// maps, replacing the old drain hack that swapped each processed level for
+/// a throwaway `HybridMap::new(0)` placeholder.
+pub fn reverse_push_with<G: GraphView>(
+    g: &G,
+    gu: &SourceGraph,
+    att: &AttentionIndex,
+    gammas: &[f64],
+    cfg: &Config,
+    ws: &mut ReverseScratch,
+) {
     let n = g.num_nodes();
-    let mut scores = vec![0.0; n];
+    ws.scores.ensure_len(n);
+    ws.scores.clear(); // O(1): epoch bump, not a memset
     let max_level = gu.max_level();
     if max_level == 0 || att.is_empty() {
-        return scores;
+        return;
     }
 
     // Residue maps per level (index 0 unused — level-0 arrivals go straight
-    // into `scores`).
-    let mut residues: Vec<HybridMap> = (0..=max_level).map(|_| HybridMap::new(n)).collect();
+    // into `scores`). Pooled maps are re-targeted at the current universe;
+    // maps past `max_level` stay untouched (never read).
+    while ws.residues.len() <= max_level {
+        ws.residues.push(HybridMap::new(n));
+    }
+    for residue in ws.residues.iter_mut().take(max_level + 1) {
+        residue.reset(n);
+    }
     for (id, &(lvl, w)) in att.nodes.iter().enumerate() {
         let h = gu.levels[lvl as usize]
             .h
@@ -41,15 +74,17 @@ pub fn reverse_push<G: GraphView>(
             .expect("attention node missing from its level");
         let r = h * gammas[id];
         if r > 0.0 {
-            residues[lvl as usize].add(w, r);
+            ws.residues[lvl as usize].add(w, r);
         }
     }
 
     let sqrt_c = cfg.sqrt_c();
     let eps_h = cfg.eps_h();
+    let ReverseScratch { residues, scores } = ws;
     for level in (1..=max_level).rev() {
-        // Take the level's map out so we can write into `level − 1`.
-        let current = std::mem::replace(&mut residues[level], HybridMap::new(0));
+        // Read this level's map while writing into `level − 1`.
+        let (lower, upper) = residues.split_at_mut(level);
+        let current = &upper[0];
         for (vp, r) in current.iter() {
             let pushed = sqrt_c * r;
             if pushed < eps_h {
@@ -58,14 +93,13 @@ pub fn reverse_push<G: GraphView>(
             for &v in g.out_neighbors(vp) {
                 let inc = pushed / g.in_degree(v) as f64;
                 if level > 1 {
-                    residues[level - 1].add(v, inc);
+                    lower[level - 1].add(v, inc);
                 } else {
-                    scores[v as usize] += inc;
+                    scores.add(v as usize, inc);
                 }
             }
         }
     }
-    scores
 }
 
 #[cfg(test)]
@@ -140,6 +174,37 @@ mod tests {
                 assert!(s >= 0.0, "negative score at {v}");
                 assert!(s <= 1.0 + 1e-9, "score {s} > 1 at {v}");
             }
+        }
+    }
+
+    #[test]
+    fn take_and_return_matches_cold_path_across_reuse() {
+        // Regression test for the residue-drain rework: the old code swapped
+        // each processed level's map for a throwaway `HybridMap::new(0)`
+        // placeholder; the workspace path reads it in place through a
+        // `split_at_mut` borrow. A deep Gu (layered DAG) forces residues to
+        // cascade through every intermediate level map — the exact path the
+        // placeholder hack used to cover — and reusing the scratch across
+        // queries must not drift by a single bit.
+        let g = shapes::layered_dag(5, 3);
+        let u = g.num_nodes() as u32 - 1; // deepest layer → max levels
+        let cfg = Config::exact(0.0005);
+        let gu = source_push(&g, u, &cfg).gu;
+        assert!(gu.max_level() >= 3, "need a multi-level residue cascade");
+        let att = AttentionIndex::build(&gu);
+        let hit = attention_hitting(&g, &gu, &att, cfg.sqrt_c());
+        let gammas = compute_gammas(&att, &hit, gu.max_level());
+
+        let cold = reverse_push(&g, &gu, &att, &gammas, &cfg);
+        assert!(
+            cold.iter().any(|&s| s > 0.0),
+            "cascade must deposit level-0 mass"
+        );
+        let mut ws = crate::workspace::ReverseScratch::default();
+        for round in 0..3 {
+            reverse_push_with(&g, &gu, &att, &gammas, &cfg, &mut ws);
+            let warm = ws.materialize(g.num_nodes());
+            assert_eq!(cold, warm, "round {round} drifted from the cold path");
         }
     }
 

@@ -6,9 +6,10 @@
 
 use crate::config::{Config, LevelDetection};
 use crate::source_graph::{Level, SourceGraph};
-use simrank_common::{HybridMap, NodeId};
+use crate::workspace::SourcePushScratch;
+use simrank_common::NodeId;
 use simrank_graph::GraphView;
-use simrank_walks::{LevelVisits, WalkParams};
+use simrank_walks::WalkParams;
 
 /// Result of Source-Push, with the sampling statistics the paper reports.
 pub struct SourcePushOutput {
@@ -20,11 +21,33 @@ pub struct SourcePushOutput {
     pub detected_level: usize,
 }
 
-/// Runs Source-Push for query node `u`.
+/// Runs Source-Push for query node `u` with a fresh scratch (cold path).
+///
+/// Repeated-query callers should hold a
+/// [`QueryWorkspace`](crate::QueryWorkspace) and use [`source_push_with`] —
+/// same result, bit for bit, but no per-query allocation.
 ///
 /// # Panics
 /// Panics if `u` is outside the graph's node range.
 pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOutput {
+    source_push_with(g, u, cfg, &mut SourcePushScratch::default())
+}
+
+/// Runs Source-Push for query node `u`, borrowing every buffer — detection
+/// walk scratch, the `Gu` level maps and the attention lists — from `ws`.
+///
+/// The returned [`SourceGraph`] owns buffers taken from the workspace pools;
+/// hand it back via [`QueryWorkspace::recycle`](crate::QueryWorkspace::recycle)
+/// once the query is done so the next one can reuse them.
+///
+/// # Panics
+/// Panics if `u` is outside the graph's node range.
+pub fn source_push_with<G: GraphView>(
+    g: &G,
+    u: NodeId,
+    cfg: &Config,
+    ws: &mut SourcePushScratch,
+) -> SourcePushOutput {
     let n = g.num_nodes();
     assert!(
         (u as usize) < n,
@@ -37,10 +60,21 @@ pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOu
         LevelDetection::Exact => (l_star, 0),
         LevelDetection::MonteCarlo => {
             let walks = cfg.num_detection_walks();
-            let visits = LevelVisits::sample(g, u, WalkParams::new(cfg.c), walks, l_star, cfg.seed);
+            let SourcePushScratch {
+                visits, walk_buf, ..
+            } = &mut *ws;
+            visits.sample_into(
+                g,
+                u,
+                WalkParams::new(cfg.c),
+                walks,
+                l_star,
+                cfg.seed,
+                walk_buf,
+            );
             let threshold = cfg.detection_threshold(walks);
             (
-                visits.deepest_level_with_count(threshold).min(l_star),
+                ws.visits.deepest_level_with_count(threshold).min(l_star),
                 walks,
             )
         }
@@ -49,16 +83,17 @@ pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOu
     // Lines 9–21: level-wise residue propagation along in-edges.
     let eps_h = cfg.eps_h();
     let sqrt_c = cfg.sqrt_c();
-    let mut levels = Vec::with_capacity(target_level + 1);
-    let mut level0 = HybridMap::new(n);
+    let mut levels = std::mem::take(&mut ws.levels_buf);
+    debug_assert!(levels.is_empty(), "levels spine must come back recycled");
+    let mut level0 = ws.take_map(n);
     level0.set(u, 1.0);
     levels.push(Level {
         h: level0,
-        attention: Vec::new(), // the trivial ℓ = 0 case is excluded (Eq. 7)
+        attention: ws.take_attention(), // trivial ℓ = 0 excluded (Eq. 7)
     });
 
     for ell in 0..target_level {
-        let mut next = HybridMap::new(n);
+        let mut next = ws.take_map(n);
         for (v, h) in levels[ell].h.iter() {
             let ins = g.in_neighbors(v);
             if ins.is_empty() {
@@ -70,13 +105,11 @@ pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOu
             }
         }
         if next.is_empty() {
+            ws.put_map(next);
             break; // frontier exhausted (pure-source level)
         }
-        let mut attention: Vec<NodeId> = next
-            .iter()
-            .filter(|&(_, h)| h >= eps_h)
-            .map(|(w, _)| w)
-            .collect();
+        let mut attention = ws.take_attention();
+        attention.extend(next.iter().filter(|&(_, h)| h >= eps_h).map(|(w, _)| w));
         attention.sort_unstable();
         levels.push(Level { h: next, attention });
     }
@@ -85,7 +118,7 @@ pub fn source_push<G: GraphView>(g: &G, u: NodeId, cfg: &Config) -> SourcePushOu
     // estimate (no residue seeds, no attention meetings), so trim them; this
     // keeps the later stages' level loops tight without changing the result.
     while levels.len() > 1 && levels.last().unwrap().attention.is_empty() {
-        levels.pop();
+        ws.put_level(levels.pop().unwrap());
     }
 
     SourcePushOutput {
@@ -225,5 +258,30 @@ mod tests {
     fn rejects_out_of_range_query() {
         let g = shapes::path(3);
         source_push(&g, 9, &Config::new(0.01));
+    }
+
+    #[test]
+    fn warm_scratch_is_bit_identical_to_cold() {
+        // The same query run cold (fresh scratch) and warm (pooled maps that
+        // kept capacity, possibly already dense) must agree bit for bit,
+        // including iteration order of the level maps — the property the
+        // whole workspace design rests on.
+        let g = simrank_graph::gen::gnm(300, 1800, 11);
+        let cfg = Config::new(0.02);
+        let mut ws = crate::workspace::SourcePushScratch::default();
+        for &u in &[5u32, 250, 5, 42] {
+            let cold = source_push(&g, u, &cfg);
+            let warm = source_push_with(&g, u, &cfg, &mut ws);
+            assert_eq!(cold.gu.max_level(), warm.gu.max_level(), "u={u}");
+            assert_eq!(cold.detected_level, warm.detected_level, "u={u}");
+            assert_eq!(cold.num_walks, warm.num_walks, "u={u}");
+            for (ell, (lc, lw)) in cold.gu.levels.iter().zip(warm.gu.levels.iter()).enumerate() {
+                assert_eq!(lc.attention, lw.attention, "u={u} level {ell}");
+                let hc: Vec<_> = lc.h.iter().collect();
+                let hw: Vec<_> = lw.h.iter().collect();
+                assert_eq!(hc, hw, "u={u} level {ell} (values and order)");
+            }
+            ws.recycle(warm.gu);
+        }
     }
 }

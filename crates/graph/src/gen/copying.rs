@@ -28,10 +28,10 @@ pub fn copying_web(n: usize, k: usize, copy_prob: f64, seed: u64) -> CsrGraph {
     // Seed nucleus: a small cycle so early prototypes have out-links.
     let nucleus = (k + 1).max(3);
     let mut outs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for v in 0..nucleus {
+    for (v, out) in outs.iter_mut().enumerate().take(nucleus) {
         let t = ((v + 1) % nucleus) as NodeId;
         builder.add_edge(v as NodeId, t);
-        outs[v].push(t);
+        out.push(t);
     }
 
     for v in nucleus..n {

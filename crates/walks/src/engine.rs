@@ -60,17 +60,23 @@ pub fn step_walk<G: GraphView, R: Rng + ?Sized>(
     Some(ins[rng.gen_range(0..ins.len())])
 }
 
-/// Samples a full √c-walk from `start`, truncated after `max_steps`
-/// transitions. The returned positions include `start` at index 0, so the
-/// node at index `ℓ` is the walk's position at step `ℓ`.
-pub fn sample_walk<G: GraphView, R: Rng + ?Sized>(
+/// Samples a full √c-walk from `start` into a caller-provided buffer,
+/// truncated after `max_steps` transitions. The buffer is cleared first;
+/// afterwards it holds `start` at index 0, so the node at index `ℓ` is the
+/// walk's position at step `ℓ`.
+///
+/// This is the reusable-scratch variant of [`sample_walk`]: a sampling loop
+/// that hands the same buffer back in every iteration performs no heap
+/// allocation once the buffer has grown to the longest walk seen.
+pub fn sample_walk_into<G: GraphView, R: Rng + ?Sized>(
     g: &G,
     start: NodeId,
     params: WalkParams,
     max_steps: usize,
     rng: &mut R,
-) -> Vec<NodeId> {
-    let mut walk = Vec::with_capacity(8);
+    walk: &mut Vec<NodeId>,
+) {
+    walk.clear();
     walk.push(start);
     let mut cur = start;
     while walk.len() <= max_steps {
@@ -82,6 +88,23 @@ pub fn sample_walk<G: GraphView, R: Rng + ?Sized>(
             None => break,
         }
     }
+}
+
+/// Samples a full √c-walk from `start`, truncated after `max_steps`
+/// transitions. The returned positions include `start` at index 0, so the
+/// node at index `ℓ` is the walk's position at step `ℓ`.
+///
+/// Allocates a fresh vector per call; hot loops should prefer
+/// [`sample_walk_into`] with a reused buffer.
+pub fn sample_walk<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    start: NodeId,
+    params: WalkParams,
+    max_steps: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(8);
+    sample_walk_into(g, start, params, max_steps, rng, &mut walk);
     walk
 }
 
@@ -100,6 +123,10 @@ pub struct LevelVisits {
 impl LevelVisits {
     /// Samples `num_walks` √c-walks from `start` (each truncated at
     /// `max_level` steps) and tallies per-level visits.
+    ///
+    /// Allocates fresh counters per call; repeated-query paths should hold a
+    /// `LevelVisits` in their workspace and call
+    /// [`sample_into`](Self::sample_into) instead.
     pub fn sample<G: GraphView>(
         g: &G,
         start: NodeId,
@@ -108,21 +135,56 @@ impl LevelVisits {
         max_level: usize,
         seed: u64,
     ) -> Self {
+        let mut visits = Self::default();
+        visits.sample_into(
+            g,
+            start,
+            params,
+            num_walks,
+            max_level,
+            seed,
+            &mut Vec::new(),
+        );
+        visits
+    }
+
+    /// Re-runs the sampling of [`sample`](Self::sample) in place, reusing
+    /// `self`'s per-level visit maps and the caller-provided walk buffer.
+    ///
+    /// Bit-identical to [`sample`](Self::sample) for the same arguments (the
+    /// RNG consumption per walk is exactly one [`step_walk`] sequence in both
+    /// paths), but steady-state reuse performs no heap allocation: counter
+    /// maps keep their capacity across calls and the walk buffer only grows
+    /// to the longest walk ever seen.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_into<G: GraphView>(
+        &mut self,
+        g: &G,
+        start: NodeId,
+        params: WalkParams,
+        num_walks: usize,
+        max_level: usize,
+        seed: u64,
+        walk_buf: &mut Vec<NodeId>,
+    ) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut levels: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); max_level];
+        for level in &mut self.levels {
+            level.clear();
+        }
+        // `deepest_level_with_count` scans every map, so the logical length
+        // must match `max_level` exactly: shrink (rare — only when a caller
+        // lowers ε between queries on one workspace) and grow as needed.
+        self.levels.truncate(max_level);
+        while self.levels.len() < max_level {
+            self.levels.push(FxHashMap::default());
+        }
+        self.num_walks = num_walks;
         for _ in 0..num_walks {
-            let mut cur = start;
-            for level in levels.iter_mut() {
-                match step_walk(g, cur, params.sqrt_c, &mut rng) {
-                    Some(next) => {
-                        *level.entry(next).or_insert(0) += 1;
-                        cur = next;
-                    }
-                    None => break,
-                }
+            sample_walk_into(g, start, params, max_level, &mut rng, walk_buf);
+            for (step, &v) in walk_buf.iter().enumerate().skip(1) {
+                *self.levels[step - 1].entry(v).or_insert(0) += 1;
             }
         }
-        Self { levels, num_walks }
     }
 
     /// Deepest level (1-based) on which some node was visited at least
@@ -246,5 +308,38 @@ mod tests {
         let a = LevelVisits::sample(&g, 0, WalkParams::default(), 500, 6, 11);
         let b = LevelVisits::sample(&g, 0, WalkParams::default(), 500, 6, 11);
         assert_eq!(a.levels, b.levels);
+    }
+
+    #[test]
+    fn sample_walk_into_matches_sample_walk() {
+        let g = shapes::cycle(5);
+        let params = WalkParams::default();
+        let mut buf = Vec::new();
+        for seed in 0..20u64 {
+            let mut r1 = SmallRng::seed_from_u64(seed);
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            let owned = sample_walk(&g, 2, params, 10, &mut r1);
+            sample_walk_into(&g, 2, params, 10, &mut r2, &mut buf);
+            assert_eq!(owned, buf, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reused_visits_are_bit_identical_to_fresh_ones() {
+        // A workspace-held LevelVisits cycled across mismatched shapes must
+        // report exactly what a fresh sample reports: stale counts cleared,
+        // logical level count re-sized both ways.
+        let g1 = shapes::cycle(7);
+        let g2 = shapes::star_in(6);
+        let mut reused = LevelVisits::default();
+        let mut buf = Vec::new();
+        let params = WalkParams::default();
+        for (g, max_level, seed) in [(&g1, 6usize, 3u64), (&g2, 3, 4), (&g1, 5, 5)] {
+            reused.sample_into(g, 0, params, 400, max_level, seed, &mut buf);
+            let fresh = LevelVisits::sample(g, 0, params, 400, max_level, seed);
+            assert_eq!(reused.levels, fresh.levels);
+            assert_eq!(reused.num_walks, fresh.num_walks);
+            assert_eq!(reused.levels.len(), max_level);
+        }
     }
 }

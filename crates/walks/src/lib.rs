@@ -18,6 +18,6 @@ pub mod engine;
 pub mod pairwise;
 pub mod parallel;
 
-pub use engine::{sample_walk, step_walk, LevelVisits, WalkParams};
+pub use engine::{sample_walk, sample_walk_into, step_walk, LevelVisits, WalkParams};
 pub use pairwise::{pairwise_simrank_mc, walks_meet};
 pub use parallel::pairwise_simrank_mc_parallel;

@@ -29,11 +29,12 @@ fn figure4_pipeline_on_toy_scale() {
         .unwrap();
     let g = spec.generate();
 
-    let mut settings = Vec::new();
-    settings.push(method_grid(MethodFamily::SimPush)[0].clone());
-    settings.push(method_grid(MethodFamily::SimPush)[2].clone());
-    settings.push(method_grid(MethodFamily::ProbeSim)[1].clone());
-    settings.push(method_grid(MethodFamily::Reads)[1].clone());
+    let settings = vec![
+        method_grid(MethodFamily::SimPush)[0].clone(),
+        method_grid(MethodFamily::SimPush)[2].clone(),
+        method_grid(MethodFamily::ProbeSim)[1].clone(),
+        method_grid(MethodFamily::Reads)[1].clone(),
+    ];
 
     let cfg = toy_cfg("fig4");
     let results = run_dataset(spec.name, &g, &settings, &cfg);

@@ -1,0 +1,114 @@
+//! Property tests (proptest) for workspace reuse: the cold path
+//! ([`SimPush::query`] on a fresh engine) and the warm path
+//! ([`SimPush::query_with`] on one long-lived [`QueryWorkspace`]) must
+//! produce **bit-identical** score vectors and structural stats, across
+//! random graphs, detection seeds and arbitrary query sequences.
+//!
+//! This is the contract that makes the zero-allocation serving loop safe to
+//! adopt: reuse is a pure performance change, never a numeric one. It holds
+//! because every order in which the pipeline folds floating-point mass is a
+//! pure function of the algorithm — `HybridMap` and the hitting-stage row
+//! frontier iterate in first-touch order, never in (capacity-dependent)
+//! hash order.
+
+use proptest::prelude::*;
+use simpush::{Config, QueryWorkspace, SimPush};
+use simrank_suite::prelude::*;
+
+/// Strategy: a random directed graph as (n, edge list).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..max_m).prop_map(
+            move |edges| {
+                GraphBuilder::new()
+                    .with_num_nodes(n)
+                    .with_edges(edges)
+                    .build()
+            },
+        )
+    })
+}
+
+/// Asserts that a warm result equals a cold one bit for bit — scores and
+/// the structural half of the stats (timings are naturally not comparable).
+fn assert_bit_identical(cold: &simpush::QueryResult, warm: &simpush::QueryResult, context: &str) {
+    assert_eq!(&cold.scores, &warm.scores, "scores drifted: {context}");
+    assert_eq!(cold.query, warm.query);
+    let (cs, ws) = (&cold.stats, &warm.stats);
+    assert_eq!(cs.num_walks, ws.num_walks, "{context}");
+    assert_eq!(cs.detected_level, ws.detected_level, "{context}");
+    assert_eq!(cs.level, ws.level, "{context}");
+    assert_eq!(cs.l_star, ws.l_star, "{context}");
+    assert_eq!(
+        &cs.attention_per_level, &ws.attention_per_level,
+        "{context}"
+    );
+    assert_eq!(cs.num_attention, ws.num_attention, "{context}");
+    assert_eq!(&cs.gu_nodes_per_level, &ws.gu_nodes_per_level, "{context}");
+    assert_eq!(cs.gu_total_entries, ws.gu_total_entries, "{context}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // One workspace serves an arbitrary query sequence: every answer must
+    // match a cold fresh-engine query for the same node, bit for bit, no
+    // matter what earlier queries left in the pooled buffers.
+    #[test]
+    fn warm_sequence_matches_cold_queries_bit_for_bit(
+        g in arb_graph(40, 160),
+        queries in proptest::collection::vec(0usize..1_000_000, 1..6),
+        eps in 0.01f64..0.1,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = Config { seed, ..Config::new(eps) };
+        let engine = SimPush::new(cfg);
+        let mut ws = QueryWorkspace::new();
+        let n = g.num_nodes();
+        for (step, q) in queries.iter().enumerate() {
+            let u = (q % n) as NodeId;
+            // Cold: fresh engine (clone starts with an empty workspace),
+            // first query on a fresh internal workspace.
+            let cold = engine.clone().query(&g, u);
+            let warm = engine.query_with(&g, u, &mut ws);
+            assert_bit_identical(&cold, &warm, &format!("step {step}, u={u}"));
+        }
+    }
+
+    // Exact-detection mode exercises deeper Gu structures (no walk budget
+    // truncation) — same contract.
+    #[test]
+    fn warm_reuse_is_exact_in_exact_mode(
+        g in arb_graph(24, 100),
+        eps in 0.005f64..0.05,
+    ) {
+        let engine = SimPush::new(Config::exact(eps));
+        let mut ws = QueryWorkspace::new();
+        let n = g.num_nodes();
+        // Query every node twice through one workspace: the second pass hits
+        // fully-warm pools sized by the worst query of the first pass.
+        for pass in 0..2 {
+            for u in 0..n as NodeId {
+                let cold = engine.clone().query(&g, u);
+                let warm = engine.query_with(&g, u, &mut ws);
+                assert_bit_identical(&cold, &warm, &format!("pass {pass}, u={u}"));
+            }
+        }
+    }
+
+    // The engine-internal workspace (plain `query` called repeatedly on one
+    // engine) is itself a warm path and must behave identically.
+    #[test]
+    fn repeated_engine_queries_match_fresh_engines(
+        g in arb_graph(30, 120),
+        eps in 0.02f64..0.1,
+    ) {
+        let engine = SimPush::new(Config::new(eps));
+        let n = g.num_nodes();
+        for u in [0usize, n / 2, n - 1, 0] {
+            let cold = engine.clone().query(&g, u as NodeId);
+            let warm = engine.query(&g, u as NodeId); // internal ws, warm after round 1
+            assert_bit_identical(&cold, &warm, &format!("u={u}"));
+        }
+    }
+}

@@ -66,7 +66,7 @@ where
 mod tests {
     #[test]
     fn workers_borrow_and_sum() {
-        let data = vec![1u64, 2, 3, 4, 5];
+        let data = [1u64, 2, 3, 4, 5];
         let sum: u64 = crate::scope(|scope| {
             let mid = data.len() / 2;
             let (lo, hi) = data.split_at(mid);

@@ -34,6 +34,10 @@
 //! [`proptest`]: https://crates.io/crates/proptest
 
 #![warn(missing_docs)]
+// The `proptest!` doctest necessarily shows `#[test]` items inside the
+// macro invocation — that is the macro's documented syntax, not a unit
+// test someone forgot to move.
+#![allow(clippy::test_attr_in_doctest)]
 
 pub mod collection;
 pub mod strategy;
