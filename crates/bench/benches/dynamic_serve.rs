@@ -1,0 +1,95 @@
+//! Micro-costs of the epoch-snapshot serving layer: snapshot acquisition,
+//! update + publish cycles, and the query-time price of reading through a
+//! churned overlay versus a pure CSR base. The end-to-end mixed-workload
+//! numbers (concurrent readers racing a writer) come from the
+//! `dynamic_serve` binary, which also emits `BENCH_dynamic_serve.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simpush::{Config, QueryWorkspace, SimPush};
+use simrank_graph::{gen, GraphStore, NodeId};
+use std::hint::black_box;
+
+const NODES: usize = 50_000;
+
+fn graph() -> simrank_graph::CsrGraph {
+    gen::copying_web(NODES, 8, 0.75, 7)
+}
+
+/// A store whose current epoch carries `churn` effective updates.
+fn churned_store(churn: usize) -> GraphStore {
+    let store = GraphStore::with_compaction_threshold(graph(), usize::MAX >> 1);
+    let mut i = 0u32;
+    let mut applied = 0;
+    while applied < churn {
+        let s = (i * 2_654_435_761 % NODES as u32) as NodeId;
+        let t = (i * 40_503 % NODES as u32) as NodeId;
+        i += 1;
+        if s != t && store.insert_edge(s, t) {
+            applied += 1;
+        }
+    }
+    store.publish();
+    store
+}
+
+fn bench_snapshot_acquisition(c: &mut Criterion) {
+    let store = churned_store(1_000);
+    let mut group = c.benchmark_group("dynamic_serve/snapshot");
+    group.bench_function("acquire_clone_drop", |b| {
+        b.iter(|| black_box(store.snapshot()))
+    });
+    group.finish();
+}
+
+fn bench_update_publish_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_serve/writer");
+    // Toggling one edge keeps the graph logically stable while exercising
+    // the full materialise → publish-clone path; the huge threshold keeps
+    // compaction out of this measurement.
+    let store = churned_store(0);
+    group.bench_function("toggle_edge_and_publish", |b| {
+        b.iter(|| {
+            store.insert_edge(0, 1_234);
+            store.remove_edge(0, 1_234);
+            black_box(store.publish())
+        })
+    });
+    // Compaction cost in isolation: rebuild 50k nodes / ~400k edges.
+    let store = churned_store(2_000);
+    group.sample_size(10);
+    group.bench_function("compact_rebuild", |b| {
+        b.iter(|| black_box(store.snapshot().to_csr()))
+    });
+    group.finish();
+}
+
+fn bench_query_overlay_vs_base(c: &mut Criterion) {
+    let engine = SimPush::new(Config::new(0.02));
+    let u = 31_337;
+    let mut group = c.benchmark_group("dynamic_serve/query");
+    group.sample_size(10);
+
+    let clean = churned_store(0).snapshot();
+    let mut ws = QueryWorkspace::new();
+    engine.query_with(&*clean, u, &mut ws);
+    group.bench_function("clean_snapshot", |b| {
+        b.iter(|| black_box(engine.query_with(&*clean, u, &mut ws)))
+    });
+
+    for churn in [100usize, 5_000] {
+        let snap = churned_store(churn).snapshot();
+        engine.query_with(&*snap, u, &mut ws);
+        group.bench_function(format!("churn_{churn}"), |b| {
+            b.iter(|| black_box(engine.query_with(&*snap, u, &mut ws)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_acquisition,
+    bench_update_publish_cycle,
+    bench_query_overlay_vs_base
+);
+criterion_main!(benches);

@@ -1,0 +1,255 @@
+//! `dynamic_serve` — machine-readable dynamic serving benchmark snapshot.
+//!
+//! Drives the same deterministic mixed update/query workload through three
+//! serving regimes and writes the timings as JSON
+//! (`BENCH_dynamic_serve.json`), so the dynamic-path perf trajectory stays
+//! comparable across PRs:
+//!
+//! 1. **store_batched** — the intended regime: a [`GraphStore`] writer
+//!    commits updates in batches while 4 reader threads answer queries on
+//!    epoch snapshots ([`serve_mixed`]).
+//! 2. **store_publish_per_update** — same store, but one publish per
+//!    update: what snapshot-per-update costs when the snapshot is still a
+//!    cheap overlay clone.
+//! 3. **csr_rebuild_per_update** — the index-style strawman: a full CSR
+//!    rebuild after every update, queries on the final rebuild.
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin dynamic_serve [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks everything to CI scale (tiny graph, one round) so the
+//! serving path and this emitter cannot silently rot.
+
+use simpush::{serve_mixed, Config, QueryWorkspace, ServeOptions, ServeReport, SimPush};
+use simrank_eval::mixed::mixed_workload;
+use simrank_graph::{gen, CsrGraph, GraphStore, GraphUpdate, GraphView, MutableGraph};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scale {
+    nodes: usize,
+    out_deg: usize,
+    updates: usize,
+    queries: usize,
+    updates_per_batch: usize,
+    compact_threshold: usize,
+}
+
+const FULL: Scale = Scale {
+    nodes: 20_000,
+    out_deg: 8,
+    updates: 2_048,
+    queries: 64,
+    updates_per_batch: 64,
+    compact_threshold: 512,
+};
+
+/// CI scale: everything tiny, but the threshold still low enough that
+/// compaction fires, so the whole path (overlay → publish → compaction →
+/// concurrent queries → JSON) is exercised.
+const SMOKE: Scale = Scale {
+    nodes: 500,
+    out_deg: 4,
+    updates: 64,
+    queries: 12,
+    updates_per_batch: 8,
+    compact_threshold: 16,
+};
+
+const COPY_PROB: f64 = 0.75;
+const GRAPH_SEED: u64 = 7;
+const WORKLOAD_SEED: u64 = 42;
+const REMOVE_FRACTION: f64 = 0.3;
+const EPSILON: f64 = 0.02;
+const READER_THREADS: usize = 4;
+
+fn ns(d: std::time::Duration) -> u128 {
+    d.as_nanos()
+}
+
+fn serve_section(json: &mut String, name: &str, batch: usize, report: &ServeReport, last: bool) {
+    let total_updates: usize = report.updates.iter().map(|u| u.applied).sum();
+    writeln!(json, "  \"{name}\": {{").unwrap();
+    writeln!(json, "    \"updates_per_batch\": {batch},").unwrap();
+    writeln!(json, "    \"effective_updates\": {total_updates},").unwrap();
+    writeln!(
+        json,
+        "    \"avg_update_batch_ns\": {},",
+        ns(report.avg_update_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"avg_query_ns\": {},",
+        ns(report.avg_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"p95_query_ns\": {},",
+        ns(report.p95_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"queries_per_sec\": {:.1},",
+        report.queries_per_sec()
+    )
+    .unwrap();
+    writeln!(json, "    \"epochs_published\": {},", report.final_epoch).unwrap();
+    writeln!(json, "    \"compactions\": {},", report.compactions).unwrap();
+    writeln!(
+        json,
+        "    \"compaction_total_ns\": {},",
+        ns(report.compaction_time)
+    )
+    .unwrap();
+    writeln!(json, "    \"wall_ns\": {}", ns(report.wall)).unwrap();
+    writeln!(json, "  }}{}", if last { "" } else { "," }).unwrap();
+}
+
+/// The index-style baseline: apply each update to a [`MutableGraph`] and
+/// pay a full CSR rebuild per update, then answer the queries warm on the
+/// final rebuild. Returns (avg rebuild ns, avg query ns).
+fn csr_rebuild_per_update(
+    base: &CsrGraph,
+    engine: &SimPush,
+    updates: &[GraphUpdate],
+    queries: &[u32],
+) -> (u128, u128) {
+    let mut live = MutableGraph::from_csr(base);
+    let mut rebuild_total = std::time::Duration::ZERO;
+    let mut last = base.clone();
+    for &u in updates {
+        match u {
+            GraphUpdate::Insert(s, t) => live.insert_edge(s, t),
+            GraphUpdate::Remove(s, t) => live.remove_edge(s, t),
+        };
+        let t = Instant::now();
+        last = live.snapshot();
+        rebuild_total += t.elapsed();
+    }
+    let mut ws = QueryWorkspace::new();
+    let t = Instant::now();
+    for &q in queries {
+        std::hint::black_box(engine.query_seeded_with(&last, q, &mut ws));
+    }
+    let query_total = t.elapsed();
+    (
+        rebuild_total.as_nanos() / updates.len().max(1) as u128,
+        query_total.as_nanos() / queries.len().max(1) as u128,
+    )
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_dynamic_serve.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if smoke { SMOKE } else { FULL };
+
+    let base = gen::copying_web(scale.nodes, scale.out_deg, COPY_PROB, GRAPH_SEED);
+    let workload = mixed_workload(
+        &base,
+        scale.updates,
+        scale.queries,
+        REMOVE_FRACTION,
+        WORKLOAD_SEED,
+    );
+    let engine = SimPush::new(Config::new(EPSILON));
+    eprintln!(
+        "[dynamic_serve] graph n={} m={}, {} updates, {} queries{}",
+        base.num_nodes(),
+        base.num_edges(),
+        workload.updates.len(),
+        workload.queries.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Regime 1: batched commits, concurrent readers.
+    let store = GraphStore::with_compaction_threshold(base.clone(), scale.compact_threshold);
+    let batched = serve_mixed(
+        &engine,
+        &store,
+        &workload.queries,
+        &workload.updates,
+        &ServeOptions {
+            reader_threads: READER_THREADS,
+            updates_per_batch: scale.updates_per_batch,
+            top_k: 1,
+        },
+    );
+    // Sanity: the served store must have converged to the replayed graph.
+    assert_eq!(
+        store.snapshot().to_csr(),
+        workload.final_graph(&base),
+        "store diverged from sequential replay"
+    );
+
+    // Regime 2: one publish per update (overlay snapshot per update).
+    let store1 = GraphStore::with_compaction_threshold(base.clone(), scale.compact_threshold);
+    let per_update = serve_mixed(
+        &engine,
+        &store1,
+        &workload.queries,
+        &workload.updates,
+        &ServeOptions {
+            reader_threads: READER_THREADS,
+            updates_per_batch: 1,
+            top_k: 1,
+        },
+    );
+
+    // Regime 3: the full-rebuild strawman.
+    let (rebuild_ns, rebuild_query_ns) =
+        csr_rebuild_per_update(&base, &engine, &workload.updates, &workload.queries);
+
+    let mut json = String::new();
+    // Hand-rolled JSON: the workspace intentionally has no serde.
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"dynamic_serve\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"graph\": {{ \"family\": \"copying_web\", \"nodes\": {}, \"out_degree\": {}, \"copy_prob\": {COPY_PROB}, \"seed\": {GRAPH_SEED} }},",
+        scale.nodes, scale.out_deg
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{ \"updates\": {}, \"queries\": {}, \"remove_fraction\": {REMOVE_FRACTION}, \"seed\": {WORKLOAD_SEED}, \"reader_threads\": {READER_THREADS} }},",
+        workload.updates.len(),
+        workload.queries.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"epsilon\": {EPSILON},").unwrap();
+    writeln!(
+        json,
+        "  \"compaction_threshold\": {},",
+        scale.compact_threshold
+    )
+    .unwrap();
+    serve_section(
+        &mut json,
+        "store_batched",
+        scale.updates_per_batch,
+        &batched,
+        false,
+    );
+    serve_section(&mut json, "store_publish_per_update", 1, &per_update, false);
+    writeln!(json, "  \"csr_rebuild_per_update\": {{").unwrap();
+    writeln!(json, "    \"avg_rebuild_ns\": {rebuild_ns},").unwrap();
+    writeln!(json, "    \"avg_query_ns\": {rebuild_query_ns}").unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -51,6 +51,13 @@
 //! its own. Steady-state warm queries perform zero heap allocations in the
 //! push stages, and warm results are bit-identical to cold ones — see the
 //! [`workspace`] module docs for why.
+//!
+//! # Concurrent serving (dynamic graphs)
+//!
+//! [`serve_mixed`] drives the paper's "frequent updates" scenario end to
+//! end: a writer thread commits edge-update batches to a
+//! [`GraphStore`](simrank_graph::GraphStore) while reader threads answer
+//! queries on immutable epoch snapshots — see the [`serve`] module docs.
 
 #![warn(missing_docs)]
 
@@ -60,11 +67,13 @@ pub mod gamma;
 pub mod hitting;
 pub mod query;
 pub mod reverse_push;
+pub mod serve;
 pub mod source_graph;
 pub mod source_push;
 pub mod workspace;
 
 pub use config::{Config, LevelDetection, McBudget};
 pub use query::{QueryResult, QueryStats, SimPush};
+pub use serve::{serve_mixed, QueryRecord, ServeOptions, ServeReport, UpdateRecord};
 pub use source_graph::SourceGraph;
 pub use workspace::QueryWorkspace;

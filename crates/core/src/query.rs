@@ -113,6 +113,12 @@ impl QueryResult {
     /// (whose similarity is 1 by definition). Ties break towards smaller
     /// node ids; zero-score nodes are never returned, so fewer than `k`
     /// entries may come back on sparse graphs.
+    ///
+    /// Cost is `O(p + k log k)` for `p` positive-score entries: a
+    /// selection pass partitions the true top `k` to the front (the
+    /// tie-break keeps the selection total-order), and only those `k` are
+    /// sorted — on web-scale score vectors this avoids the `O(p log p)`
+    /// full sort a serving loop would pay per query.
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
         let mut entries: Vec<(NodeId, f64)> = self
             .scores
@@ -121,8 +127,17 @@ impl QueryResult {
             .filter(|&(v, &s)| v as NodeId != self.query && s > 0.0)
             .map(|(v, &s)| (v as NodeId, s))
             .collect();
-        entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        entries.truncate(k);
+        if k == 0 {
+            return Vec::new();
+        }
+        let rank = |a: &(NodeId, f64), b: &(NodeId, f64)| {
+            b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+        };
+        if entries.len() > k {
+            entries.select_nth_unstable_by(k - 1, rank);
+            entries.truncate(k);
+        }
+        entries.sort_unstable_by(rank);
         entries
     }
 }
@@ -179,6 +194,13 @@ impl SimPush {
         u: NodeId,
         ws: &mut QueryWorkspace,
     ) -> QueryResult {
+        // Validate up front: an out-of-range u would otherwise die deep in
+        // the push stages with an opaque slice index panic.
+        let n = g.num_nodes();
+        assert!(
+            (u as usize) < n,
+            "query node {u} out of range for graph with {n} nodes"
+        );
         let total = Timer::start();
         let cfg = &self.config;
         let mut stats = QueryStats {
@@ -330,6 +352,69 @@ mod tests {
         assert!(top.iter().all(|&(v, _)| v != 1));
         for w in top.windows(2) {
             assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "query node 5 out of range")]
+    fn out_of_range_query_panics_with_clear_message() {
+        let g = shapes::jeh_widom(); // 5 nodes: valid ids are 0..5
+        SimPush::new(Config::new(0.02)).query(&g, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_query_with_panics_too() {
+        let g = shapes::cycle(3);
+        let mut ws = crate::QueryWorkspace::new();
+        SimPush::new(Config::new(0.02)).query_with(&g, 99, &mut ws);
+    }
+
+    /// Reference implementation of `top_k`: the straightforward full sort
+    /// the selection-based version must match entry for entry.
+    fn top_k_full_sort(res: &QueryResult, k: usize) -> Vec<(NodeId, f64)> {
+        let mut entries: Vec<(NodeId, f64)> = res
+            .scores
+            .iter()
+            .enumerate()
+            .filter(|&(v, &s)| v as NodeId != res.query && s > 0.0)
+            .map(|(v, &s)| (v as NodeId, s))
+            .collect();
+        entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort_including_ties() {
+        // Dense tie groups are where a sloppy selection diverges: every
+        // repeated score must still order by ascending node id across the
+        // k boundary.
+        let scores: Vec<f64> = (0..200)
+            .map(|v| match v % 5 {
+                0 => 0.5,
+                1 => 0.25,
+                2 => 0.25,
+                3 => 0.125,
+                _ => 0.0,
+            })
+            .collect();
+        let res = QueryResult {
+            query: 10, // sits inside the 0.5 tie group and must be excluded
+            scores,
+            stats: QueryStats::default(),
+        };
+        for k in [0, 1, 2, 3, 39, 40, 41, 100, 119, 120, 121, 500] {
+            assert_eq!(res.top_k(k), top_k_full_sort(&res, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort_on_real_queries() {
+        let g = simrank_graph::gen::copying_web(2000, 5, 0.7, 13);
+        let res = SimPush::new(Config::new(0.02)).query(&g, 42);
+        for k in [1, 5, 50, 1999, 5000] {
+            assert_eq!(res.top_k(k), top_k_full_sort(&res, k), "k={k}");
         }
     }
 

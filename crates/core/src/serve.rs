@@ -1,0 +1,350 @@
+//! Concurrent mixed update/query serving on a [`GraphStore`].
+//!
+//! This is the paper's headline scenario made operational: a single writer
+//! applies edge-update batches to the store and publishes epochs, while a
+//! pool of reader threads answers single-source SimRank queries on cheap
+//! `Arc` epoch snapshots — no rebuild step, no reader/writer blocking
+//! beyond a pointer swap.
+//!
+//! Each reader holds one warm [`QueryWorkspace`] (zero allocations in the
+//! push stages at steady state, PR 2) and uses per-query derived seeds
+//! ([`SimPush::query_seeded_with`]), so each answer is a deterministic
+//! function of `(config, query node, epoch graph)` — the `prop_store`
+//! suite replays recorded epochs against full CSR rebuilds and checks
+//! bit-identity even under a live 4-reader/1-writer race.
+
+use crate::query::SimPush;
+use crate::workspace::QueryWorkspace;
+use simrank_common::NodeId;
+use simrank_graph::{GraphStore, GraphUpdate};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Knobs for [`serve_mixed`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Reader threads answering queries concurrently (≥ 1).
+    pub reader_threads: usize,
+    /// Updates the writer applies per publish; 1 reproduces the
+    /// "snapshot per update" regime, larger batches amortise the
+    /// per-publish overlay clone.
+    pub updates_per_batch: usize,
+    /// How many top-scoring nodes each [`QueryRecord`] keeps (the full
+    /// score vectors are dropped to keep long serving runs memory-flat).
+    pub top_k: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            reader_threads: 4,
+            updates_per_batch: 32,
+            top_k: 1,
+        }
+    }
+}
+
+/// One answered query in a serving run.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// The query node.
+    pub node: NodeId,
+    /// Epoch of the snapshot the query ran against.
+    pub epoch: u64,
+    /// End-to-end latency (snapshot acquisition + query).
+    pub latency: Duration,
+    /// Top-`k` similar nodes (per [`ServeOptions::top_k`]).
+    pub top: Vec<(NodeId, f64)>,
+}
+
+/// One committed update batch in a serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateRecord {
+    /// Updates in the batch that changed the graph.
+    pub applied: usize,
+    /// Epoch number the batch's publish produced.
+    pub epoch: u64,
+    /// Whether this publish compacted the overlay into a fresh CSR base.
+    pub compacted: bool,
+    /// Latency of apply + publish (includes compaction when it fired).
+    pub latency: Duration,
+}
+
+/// Everything a [`serve_mixed`] run measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-query records, in query input order.
+    pub queries: Vec<QueryRecord>,
+    /// Per-batch update records, in stream order.
+    pub updates: Vec<UpdateRecord>,
+    /// Wall-clock duration of the whole mixed run.
+    pub wall: Duration,
+    /// Epoch current when the run finished.
+    pub final_epoch: u64,
+    /// Compactions the store performed during the run.
+    pub compactions: u64,
+    /// Total time the writer spent compacting during the run.
+    pub compaction_time: Duration,
+}
+
+fn mean(durations: impl Iterator<Item = Duration>) -> Duration {
+    let mut total = Duration::ZERO;
+    let mut count = 0u32;
+    for d in durations {
+        total += d;
+        count += 1;
+    }
+    if count == 0 {
+        Duration::ZERO
+    } else {
+        total / count
+    }
+}
+
+impl ServeReport {
+    /// Mean query latency (zero if no queries ran).
+    pub fn avg_query_latency(&self) -> Duration {
+        mean(self.queries.iter().map(|q| q.latency))
+    }
+
+    /// 95th-percentile query latency (zero if no queries ran).
+    pub fn p95_query_latency(&self) -> Duration {
+        if self.queries.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut lats: Vec<Duration> = self.queries.iter().map(|q| q.latency).collect();
+        lats.sort_unstable();
+        lats[(lats.len() - 1) * 95 / 100]
+    }
+
+    /// Mean apply+publish latency per update batch (zero if no updates).
+    pub fn avg_update_latency(&self) -> Duration {
+        mean(self.updates.iter().map(|u| u.latency))
+    }
+
+    /// Query throughput over the run's wall clock.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.queries.len() as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Drives a mixed update/query workload against `store`: one writer thread
+/// commits `updates` in batches of [`updates_per_batch`](ServeOptions::updates_per_batch)
+/// while [`reader_threads`](ServeOptions::reader_threads) workers drain
+/// `queries` from a shared counter, each answering on its own epoch
+/// snapshot with its own warm workspace.
+///
+/// Which epoch a given query observes depends on thread scheduling — that
+/// is the nature of concurrent serving — but every answer is exact for the
+/// epoch recorded next to it, and re-running
+/// [`SimPush::query_seeded`] on that epoch's graph reproduces it bit for
+/// bit.
+///
+/// # Panics
+/// Panics if `reader_threads` or `updates_per_batch` is 0, or if any query
+/// node or update endpoint is out of range for the store's graph.
+pub fn serve_mixed(
+    engine: &SimPush,
+    store: &GraphStore,
+    queries: &[NodeId],
+    updates: &[GraphUpdate],
+    opts: &ServeOptions,
+) -> ServeReport {
+    assert!(opts.reader_threads >= 1, "need at least one reader thread");
+    assert!(
+        opts.updates_per_batch >= 1,
+        "update batches must be non-empty"
+    );
+
+    let compactions_before = store.compactions();
+    let compaction_time_before = store.compaction_time();
+    let next_query = AtomicUsize::new(0);
+    let start = Instant::now();
+
+    let (update_records, mut indexed_queries) = crossbeam::scope(|scope| {
+        // The writer: commit update batches, one publish per batch.
+        let writer = scope.spawn(|_| {
+            let mut records = Vec::with_capacity(updates.len() / opts.updates_per_batch + 1);
+            for batch in updates.chunks(opts.updates_per_batch) {
+                let t = Instant::now();
+                let (applied, info) = store.commit(batch);
+                records.push(UpdateRecord {
+                    applied,
+                    epoch: info.epoch,
+                    compacted: info.compacted,
+                    latency: t.elapsed(),
+                });
+            }
+            records
+        });
+
+        // The readers: drain the query stream on per-thread warm scratch.
+        let mut readers = Vec::with_capacity(opts.reader_threads);
+        for _ in 0..opts.reader_threads {
+            let next_query = &next_query;
+            readers.push(scope.spawn(move |_| {
+                let mut ws = QueryWorkspace::new();
+                let mut mine = Vec::new();
+                loop {
+                    let i = next_query.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        return mine;
+                    }
+                    let t = Instant::now();
+                    let snap = store.snapshot();
+                    let result = engine.query_seeded_with(&*snap, queries[i], &mut ws);
+                    mine.push((
+                        i,
+                        QueryRecord {
+                            node: queries[i],
+                            epoch: snap.epoch(),
+                            latency: t.elapsed(),
+                            top: result.top_k(opts.top_k),
+                        },
+                    ));
+                }
+            }));
+        }
+
+        let update_records = writer.join().expect("writer thread panicked");
+        let indexed: Vec<(usize, QueryRecord)> = readers
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread panicked"))
+            .collect();
+        (update_records, indexed)
+    })
+    .expect("serving scope panicked");
+
+    let wall = start.elapsed();
+    indexed_queries.sort_unstable_by_key(|&(i, _)| i);
+    ServeReport {
+        queries: indexed_queries.into_iter().map(|(_, q)| q).collect(),
+        updates: update_records,
+        wall,
+        final_epoch: store.epoch(),
+        compactions: store.compactions() - compactions_before,
+        compaction_time: store.compaction_time() - compaction_time_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use simrank_graph::{gen, GraphStore, MutableGraph};
+
+    fn toggle_stream(n: usize, count: usize) -> Vec<GraphUpdate> {
+        // Deterministic insert/remove pairs over distinct node pairs.
+        (0..count)
+            .map(|i| {
+                let s = (i * 7 % n) as NodeId;
+                let t = ((i * 13 + 1) % n) as NodeId;
+                if i % 3 == 2 {
+                    GraphUpdate::Remove(s, t)
+                } else {
+                    GraphUpdate::Insert(s, t)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_query_is_answered_in_input_order() {
+        let store = GraphStore::new(gen::gnm(200, 1000, 3));
+        let engine = SimPush::new(Config::new(0.05));
+        let queries: Vec<NodeId> = (0..17).map(|i| (i * 11) % 200).collect();
+        let updates = toggle_stream(200, 40);
+        let report = serve_mixed(
+            &engine,
+            &store,
+            &queries,
+            &updates,
+            &ServeOptions {
+                reader_threads: 4,
+                updates_per_batch: 8,
+                top_k: 3,
+            },
+        );
+        assert_eq!(report.queries.len(), queries.len());
+        for (rec, &u) in report.queries.iter().zip(&queries) {
+            assert_eq!(rec.node, u);
+            assert!(rec.epoch <= report.final_epoch);
+            assert!(rec.top.len() <= 3);
+        }
+        assert_eq!(report.updates.len(), 5, "40 updates / batches of 8");
+        assert_eq!(report.final_epoch, 5);
+        assert!(report.avg_query_latency() > Duration::ZERO);
+        assert!(report.queries_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn final_store_state_matches_a_sequential_replay() {
+        let base = gen::gnm(120, 500, 9);
+        let store = GraphStore::with_compaction_threshold(base.clone(), 16);
+        let engine = SimPush::new(Config::new(0.05));
+        let updates = toggle_stream(120, 60);
+        let queries: Vec<NodeId> = (0..8).collect();
+        serve_mixed(
+            &engine,
+            &store,
+            &queries,
+            &updates,
+            &ServeOptions::default(),
+        );
+
+        let mut replica = MutableGraph::from_csr(&base);
+        for &u in &updates {
+            match u {
+                GraphUpdate::Insert(s, t) => replica.insert_edge(s, t),
+                GraphUpdate::Remove(s, t) => replica.remove_edge(s, t),
+            };
+        }
+        assert_eq!(store.snapshot().to_csr(), replica.snapshot());
+    }
+
+    #[test]
+    fn single_reader_no_updates_degenerates_to_batch_queries() {
+        let store = GraphStore::new(gen::gnm(100, 400, 1));
+        let engine = SimPush::new(Config::new(0.05));
+        let queries: Vec<NodeId> = vec![3, 50, 99];
+        let report = serve_mixed(
+            &engine,
+            &store,
+            &queries,
+            &[],
+            &ServeOptions {
+                reader_threads: 1,
+                updates_per_batch: 1,
+                top_k: 1,
+            },
+        );
+        assert!(report.updates.is_empty());
+        assert_eq!(report.final_epoch, 0);
+        let snap = store.snapshot();
+        for rec in &report.queries {
+            let solo = engine.query_seeded(&*snap, rec.node);
+            assert_eq!(rec.top, solo.top_k(1), "u={}", rec.node);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reader")]
+    fn rejects_zero_readers() {
+        let store = GraphStore::new(gen::gnm(10, 20, 1));
+        let engine = SimPush::new(Config::new(0.05));
+        serve_mixed(
+            &engine,
+            &store,
+            &[0],
+            &[],
+            &ServeOptions {
+                reader_threads: 0,
+                updates_per_batch: 1,
+                top_k: 1,
+            },
+        );
+    }
+}

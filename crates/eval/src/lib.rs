@@ -10,6 +10,8 @@
 //!   paper's Table 4 datasets (substitutions documented in `DESIGN.md` §4).
 //! * [`methods`] — the seven methods with the paper's five-point parameter
 //!   grids, behind one factory interface.
+//! * [`mixed`] — deterministic mixed update/query workload generation for
+//!   the dynamic serving scenario (`GraphStore` + `serve_mixed`).
 //! * [`runner`] — per-dataset experiment driver: builds indexes, times
 //!   queries, spills score vectors, pools ground truth, computes metrics,
 //!   applies the paper's resource-exclusion rules.
@@ -22,9 +24,11 @@ pub mod datasets;
 pub mod ground_truth;
 pub mod methods;
 pub mod metrics;
+pub mod mixed;
 pub mod report;
 pub mod runner;
 
 pub use datasets::{registry, DatasetSpec};
 pub use methods::{method_grid, MethodFamily, MethodSetting};
+pub use mixed::{mixed_workload, MixedWorkload};
 pub use runner::{run_dataset, ExperimentConfig, MethodResult};

@@ -1,0 +1,179 @@
+//! Deterministic mixed update/query workloads for dynamic serving
+//! scenarios.
+//!
+//! The paper's dynamic story needs a repeatable stream of edge updates and
+//! query nodes to drive a [`GraphStore`](simrank_graph::GraphStore):
+//! benchmarks, the concurrency tests and the serving example all want the
+//! *same* workload for a given seed so runs are comparable across PRs.
+//! [`mixed_workload`] generates one by replaying candidate updates against
+//! a private [`MutableGraph`] replica, which guarantees every emitted
+//! update is **effective** (inserts name absent edges, removes name present
+//! ones) — a stream of no-ops would make update-latency numbers
+//! meaninglessly cheap.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simrank_common::NodeId;
+use simrank_graph::{CsrGraph, GraphUpdate, GraphView, MutableGraph};
+
+/// A mixed serving workload: an update stream and a query stream.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    /// Edge updates, in arrival order; every one is effective when the
+    /// stream is replayed in order from the generating base graph.
+    pub updates: Vec<GraphUpdate>,
+    /// Query nodes (uniform over the node universe).
+    pub queries: Vec<NodeId>,
+}
+
+impl MixedWorkload {
+    /// Replays the update stream onto a copy of `base`, returning the graph
+    /// a store serving this workload ends at.
+    pub fn final_graph(&self, base: &CsrGraph) -> CsrGraph {
+        let mut replica = MutableGraph::from_csr(base);
+        for &u in &self.updates {
+            let effective = match u {
+                GraphUpdate::Insert(s, t) => replica.insert_edge(s, t),
+                GraphUpdate::Remove(s, t) => replica.remove_edge(s, t),
+            };
+            debug_assert!(effective, "generated workloads contain no no-ops");
+        }
+        replica.snapshot()
+    }
+}
+
+/// Generates a deterministic mixed workload over `base`.
+///
+/// Each update is a removal with probability `remove_fraction` (when the
+/// evolving graph still has edges), otherwise an insertion of a currently
+/// absent edge; targets are chosen uniformly. When the evolving graph
+/// saturates (every non-self-loop edge present) a removal is forced
+/// regardless of `remove_fraction`, so generation always terminates. Same
+/// `(base, sizes, seed)` → same workload, byte for byte.
+///
+/// # Panics
+/// Panics if `base` has fewer than 2 nodes or `remove_fraction` is outside
+/// `[0, 1]`.
+pub fn mixed_workload(
+    base: &CsrGraph,
+    num_updates: usize,
+    num_queries: usize,
+    remove_fraction: f64,
+    seed: u64,
+) -> MixedWorkload {
+    let n = base.num_nodes();
+    assert!(n >= 2, "need at least two nodes to generate edge updates");
+    assert!(
+        (0.0..=1.0).contains(&remove_fraction),
+        "remove_fraction must be a probability"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut replica = MutableGraph::from_csr(base);
+    let mut updates = Vec::with_capacity(num_updates);
+    // Insertions only ever target absent non-self-loop edges, so once the
+    // replica holds them all the insert branch can never make progress —
+    // force removals past that point instead of livelocking.
+    let insert_capacity = n * (n - 1);
+    while updates.len() < num_updates {
+        let saturated = replica.num_edges() >= insert_capacity;
+        if replica.num_edges() > 0 && (saturated || rng.gen_bool(remove_fraction)) {
+            // Remove a present edge: rejection-sample a node with
+            // out-degree > 0, then one of its targets.
+            let s = loop {
+                let s = rng.gen_range(0..n) as NodeId;
+                if replica.out_degree(s) > 0 {
+                    break s;
+                }
+            };
+            let outs = replica.out_neighbors(s);
+            let t = outs[rng.gen_range(0..outs.len())];
+            replica.remove_edge(s, t);
+            updates.push(GraphUpdate::Remove(s, t));
+        } else {
+            let s = rng.gen_range(0..n) as NodeId;
+            let t = rng.gen_range(0..n) as NodeId;
+            if s != t && replica.insert_edge(s, t) {
+                updates.push(GraphUpdate::Insert(s, t));
+            }
+        }
+    }
+    let queries = (0..num_queries)
+        .map(|_| rng.gen_range(0..n) as NodeId)
+        .collect();
+    MixedWorkload { updates, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simrank_graph::gen;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let g = gen::gnm(100, 500, 3);
+        let a = mixed_workload(&g, 50, 10, 0.3, 42);
+        let b = mixed_workload(&g, 50, 10, 0.3, 42);
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.queries, b.queries);
+        let c = mixed_workload(&g, 50, 10, 0.3, 43);
+        assert_ne!(a.updates, c.updates, "different seed, different stream");
+    }
+
+    #[test]
+    fn every_update_is_effective_on_replay() {
+        let g = gen::gnm(80, 400, 5);
+        let wl = mixed_workload(&g, 120, 5, 0.4, 9);
+        assert_eq!(wl.updates.len(), 120);
+        let mut replica = MutableGraph::from_csr(&g);
+        for (i, &u) in wl.updates.iter().enumerate() {
+            let effective = match u {
+                GraphUpdate::Insert(s, t) => replica.insert_edge(s, t),
+                GraphUpdate::Remove(s, t) => replica.remove_edge(s, t),
+            };
+            assert!(effective, "update {i} ({u:?}) was a no-op");
+        }
+        assert_eq!(wl.final_graph(&g), replica.snapshot());
+    }
+
+    #[test]
+    fn fractions_steer_the_mix() {
+        let g = gen::gnm(60, 600, 1);
+        let all_inserts = mixed_workload(&g, 40, 0, 0.0, 7);
+        assert!(all_inserts
+            .updates
+            .iter()
+            .all(|u| matches!(u, GraphUpdate::Insert(..))));
+        let all_removes = mixed_workload(&g, 40, 0, 1.0, 7);
+        assert!(all_removes
+            .updates
+            .iter()
+            .all(|u| matches!(u, GraphUpdate::Remove(..))));
+    }
+
+    #[test]
+    fn saturated_graph_forces_removals_instead_of_livelocking() {
+        // 3 nodes, all 6 non-self-loop edges present: with remove_fraction
+        // 0 an insert can never succeed, so removals must be forced for
+        // generation to terminate.
+        let g = simrank_graph::GraphBuilder::new()
+            .with_edges([(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)])
+            .build();
+        let wl = mixed_workload(&g, 4, 2, 0.0, 3);
+        assert_eq!(wl.updates.len(), 4);
+        assert!(matches!(wl.updates[0], GraphUpdate::Remove(..)));
+        // …and once an edge is free again, inserts resume.
+        assert!(wl
+            .updates
+            .iter()
+            .any(|u| matches!(u, GraphUpdate::Insert(..))));
+        wl.final_graph(&g); // replays without a no-op (debug_assert inside)
+    }
+
+    #[test]
+    fn queries_are_in_range() {
+        let g = gen::gnm(30, 100, 2);
+        let wl = mixed_workload(&g, 10, 100, 0.2, 11);
+        assert_eq!(wl.queries.len(), 100);
+        assert!(wl.queries.iter().all(|&q| (q as usize) < 30));
+    }
+}

@@ -130,15 +130,30 @@ pub fn from_binary(mut data: Bytes) -> Result<CsrGraph, IoError> {
     if &magic != MAGIC {
         return Err(IoError::Format(format!("bad magic {magic:?}")));
     }
-    let n = data.get_u64_le() as usize;
-    let m = data.get_u64_le() as usize;
-    let need = (n + 1) * 8 + m * 4;
-    if data.remaining() != need {
+    let n64 = data.get_u64_le();
+    let m64 = data.get_u64_le();
+    // The header fields are untrusted: a corrupt/malicious `n` or `m` must
+    // fail cleanly here, before any allocation. `u128` arithmetic rules out
+    // the wrap that `(n + 1) * 8 + m * 4` in `usize` allows (a wrapped
+    // `need` can collide with the actual payload size and defeat the size
+    // check), and the equality against `remaining()` bounds both fields by
+    // the bytes actually present, so `Vec::with_capacity` below can never
+    // exceed the input size.
+    const MAX_NODES: u64 = u32::MAX as u64 + 1; // node ids are u32
+    if n64 > MAX_NODES {
         return Err(IoError::Format(format!(
-            "payload size {} does not match n={n}, m={m}",
+            "node count {n64} exceeds the u32 id space"
+        )));
+    }
+    let need = (n64 as u128 + 1) * 8 + m64 as u128 * 4;
+    if need != data.remaining() as u128 {
+        return Err(IoError::Format(format!(
+            "payload size {} does not match n={n64}, m={m64}",
             data.remaining()
         )));
     }
+    let n = n64 as usize;
+    let m = m64 as usize;
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         offsets.push(data.get_u64_le() as usize);
@@ -232,6 +247,75 @@ mod tests {
         let len = bad_target.len();
         bad_target[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(from_binary(Bytes::from(bad_target)).is_err());
+    }
+
+    /// Builds a 20-byte header (magic + n + m) followed by `payload` bytes
+    /// of zeros — the attacker-controlled shapes the hardened decoder must
+    /// reject without panicking, wrapping, or allocating proportionally to
+    /// the claimed counts.
+    fn crafted(n: u64, m: u64, payload: usize) -> Bytes {
+        let mut buf = BytesMut::with_capacity(20 + payload);
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(n);
+        buf.put_u64_le(m);
+        buf.put_slice(&vec![0u8; payload]);
+        buf.freeze()
+    }
+
+    #[test]
+    fn corrupt_header_huge_n_is_a_format_error() {
+        // Claims ~2^64 nodes with an empty payload: `(n + 1) * 8` would
+        // overflow in usize (panic in debug, wrap in release) and
+        // `Vec::with_capacity(n + 1)` would OOM if it got that far.
+        for n in [u64::MAX, u64::MAX / 8, u32::MAX as u64 + 2] {
+            let err = from_binary(crafted(n, 0, 0)).unwrap_err();
+            assert!(matches!(err, IoError::Format(_)), "n={n}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_header_huge_m_is_a_format_error() {
+        for m in [u64::MAX, u64::MAX / 4, 1 << 40] {
+            let err = from_binary(crafted(4, m, 48)).unwrap_err();
+            assert!(matches!(err, IoError::Format(_)), "m={m}: {err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_header_wrapping_values_are_format_errors() {
+        // Values crafted so the old usize arithmetic wraps to a small
+        // `need` that *matches* the payload on 64-bit targets, defeating
+        // the size check entirely:
+        //   n = 2^61 - 1 → (n + 1) * 8 ≡ 0 (mod 2^64), so with m = 0 the
+        //   wrapped need equals an empty payload;
+        //   m = 2^62 → m * 4 ≡ 0, wrapping the target bytes away.
+        let wrap_n = (1u64 << 61) - 1;
+        let err = from_binary(crafted(wrap_n, 0, 0)).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+
+        let wrap_m = 1u64 << 62;
+        let err = from_binary(crafted(2, wrap_m, 24)).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+
+        // And a combination that wraps both terms back to the real size of
+        // a tiny well-formed-looking payload.
+        let err = from_binary(crafted(wrap_n, wrap_m, 0)).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn payload_size_mismatch_is_a_format_error() {
+        // Consistent-looking small header over the wrong number of bytes.
+        for payload in [0, 15, 17, 100] {
+            let err = from_binary(crafted(1, 0, payload)).unwrap_err();
+            assert!(
+                matches!(err, IoError::Format(_)),
+                "payload={payload}: {err}"
+            );
+        }
+        // The exact right size parses (n=1, m=0 → one offset pair, no
+        // targets; all-zero offsets are valid for an empty graph).
+        assert_eq!(from_binary(crafted(1, 0, 16)).unwrap(), CsrGraph::empty(1));
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!   and deletion in place. Index-free methods (SimPush, ProbeSim) run on it
 //!   directly through the [`GraphView`] trait; index-based baselines cannot,
 //!   which is exactly the paper's point.
+//! * [`GraphStore`] — the concurrent serving layer: a single writer batches
+//!   updates into a [`DeltaOverlay`] over an `Arc`-shared CSR base and
+//!   publishes immutable epoch [`GraphSnapshot`]s that many reader threads
+//!   query while the writer keeps mutating, with automatic compaction back
+//!   into CSR past a churn threshold.
 //! * [`GraphBuilder`] — edge accumulation with deduplication, self-loop
 //!   policy and undirected symmetrisation (paper §2.1 converts undirected
 //!   inputs to edge pairs).
@@ -26,12 +31,16 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod mutable;
+pub mod overlay;
 pub mod stats;
+pub mod store;
 pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use mutable::MutableGraph;
+pub use overlay::DeltaOverlay;
 pub use simrank_common::NodeId;
 pub use stats::GraphStats;
+pub use store::{GraphSnapshot, GraphStore, GraphUpdate, PublishInfo};
 pub use view::GraphView;

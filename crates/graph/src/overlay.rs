@@ -1,0 +1,333 @@
+//! [`DeltaOverlay`]: a sorted per-node edge delta over an immutable CSR base.
+//!
+//! The paper's serving scenario is a massive graph "with frequent updates"
+//! queried continuously. [`MutableGraph`](crate::MutableGraph) supports
+//! in-place updates but cannot be shared with concurrent readers; an
+//! immutable [`CsrGraph`] can be shared but not updated.
+//! `DeltaOverlay` is the piece in between: an `Arc`-shared CSR **base** plus
+//! a small map of *touched* nodes whose current neighbour lists are
+//! materialised in full, sorted. Untouched nodes read straight from the
+//! base CSR slices, so the overlay's memory and clone cost scale with the
+//! update churn, not with the graph.
+//!
+//! # Determinism
+//!
+//! Every neighbour list — base slice or materialised delta list — is sorted
+//! ascending, exactly like [`CsrGraph`] and [`MutableGraph`](crate::MutableGraph).
+//! The hash maps are only ever used for point lookups, never iterated in the
+//! read path, so an overlay presents the *same deterministic
+//! [`GraphView`]* as a full CSR rebuild of the same logical graph: any
+//! seed-deterministic algorithm (SimPush included) produces bit-identical
+//! results on either representation. The `prop_store` property suite pins
+//! this.
+
+use crate::csr::CsrGraph;
+use crate::view::GraphView;
+use simrank_common::mem::LogicalBytes;
+use simrank_common::{FxHashMap, NodeId};
+use std::sync::Arc;
+
+/// A copy-on-touch edge delta layered over an immutable CSR snapshot.
+///
+/// Cloning is cheap in the way that matters for epoch publishing: the base
+/// is an [`Arc`] (pointer copy) and only the touched-node lists are deep
+/// copied, so a clone costs `O(churned adjacency)` — bounded by the
+/// [`GraphStore`](crate::GraphStore) compaction threshold — never `O(m)`.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay {
+    base: Arc<CsrGraph>,
+    /// Materialised *current* out-lists of touched nodes (sorted).
+    outs: FxHashMap<NodeId, Vec<NodeId>>,
+    /// Materialised *current* in-lists of touched nodes (sorted).
+    ins: FxHashMap<NodeId, Vec<NodeId>>,
+    /// Current edge count (base ± applied deltas).
+    m: usize,
+    /// Number of effective updates applied since the base was frozen; the
+    /// compaction heuristic. Note this counts *churn*, not net delta: an
+    /// insert followed by a remove of the same edge counts twice even
+    /// though the overlay is logically back at the base.
+    churn: usize,
+}
+
+impl DeltaOverlay {
+    /// Creates an empty overlay over `base` (reads are pure pass-through).
+    pub fn new(base: Arc<CsrGraph>) -> Self {
+        let m = base.num_edges();
+        Self {
+            base,
+            outs: FxHashMap::default(),
+            ins: FxHashMap::default(),
+            m,
+            churn: 0,
+        }
+    }
+
+    /// The immutable CSR base this overlay layers on top of.
+    pub fn base(&self) -> &Arc<CsrGraph> {
+        &self.base
+    }
+
+    /// Effective updates applied since the base was frozen (the compaction
+    /// heuristic input). Zero means reads are pure base pass-through.
+    pub fn churn(&self) -> usize {
+        self.churn
+    }
+
+    /// True if no update has touched the overlay (every read hits the base).
+    pub fn is_clean(&self) -> bool {
+        self.churn == 0
+    }
+
+    /// Number of distinct nodes with a materialised (out or in) delta list.
+    pub fn touched_nodes(&self) -> usize {
+        self.outs.len()
+            + self
+                .ins
+                .keys()
+                .filter(|v| !self.outs.contains_key(v))
+                .count()
+    }
+
+    /// True if the directed edge `(src, dst)` currently exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out_neighbors(src).binary_search(&dst).is_ok()
+    }
+
+    fn assert_in_range(&self, src: NodeId, dst: NodeId) {
+        let n = self.num_nodes();
+        assert!(
+            (src as usize) < n && (dst as usize) < n,
+            "edge endpoint out of range"
+        );
+    }
+
+    /// Inserts edge `(src, dst)`. Returns `false` (and changes nothing,
+    /// materialising no list) if the edge already exists.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range — same contract as
+    /// [`MutableGraph::insert_edge`](crate::MutableGraph::insert_edge).
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.assert_in_range(src, dst);
+        if self.has_edge(src, dst) {
+            return false;
+        }
+        let base = &self.base;
+        let outs = self
+            .outs
+            .entry(src)
+            .or_insert_with(|| base.out_neighbors(src).to_vec());
+        let pos = outs.binary_search(&dst).unwrap_err();
+        outs.insert(pos, dst);
+        let ins = self
+            .ins
+            .entry(dst)
+            .or_insert_with(|| base.in_neighbors(dst).to_vec());
+        let ipos = ins.binary_search(&src).unwrap_err();
+        ins.insert(ipos, src);
+        self.m += 1;
+        self.churn += 1;
+        true
+    }
+
+    /// Removes edge `(src, dst)`. Returns `false` if it did not exist.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range — same contract as
+    /// [`MutableGraph::remove_edge`](crate::MutableGraph::remove_edge).
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId) -> bool {
+        self.assert_in_range(src, dst);
+        if !self.has_edge(src, dst) {
+            return false;
+        }
+        let base = &self.base;
+        let outs = self
+            .outs
+            .entry(src)
+            .or_insert_with(|| base.out_neighbors(src).to_vec());
+        let pos = outs.binary_search(&dst).unwrap();
+        outs.remove(pos);
+        let ins = self
+            .ins
+            .entry(dst)
+            .or_insert_with(|| base.in_neighbors(dst).to_vec());
+        let ipos = ins.binary_search(&src).unwrap();
+        ins.remove(ipos);
+        self.m -= 1;
+        self.churn += 1;
+        true
+    }
+
+    /// Compacts the overlay into a fresh standalone [`CsrGraph`] — the same
+    /// graph a from-scratch rebuild of the current logical state would
+    /// produce (`O(n + m)`; pinned by the `prop_store` suite).
+    pub fn rebuild(&self) -> CsrGraph {
+        let n = self.num_nodes();
+        let mut edges = Vec::with_capacity(self.m);
+        for v in 0..n as NodeId {
+            for &t in self.out_neighbors(v) {
+                edges.push((v, t));
+            }
+        }
+        CsrGraph::from_sorted_edges(n, &edges)
+    }
+}
+
+impl GraphView for DeltaOverlay {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self.outs.get(&v) {
+            Some(list) => list,
+            None => self.base.out_neighbors(v),
+        }
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self.ins.get(&v) {
+            Some(list) => list,
+            None => self.base.in_neighbors(v),
+        }
+    }
+}
+
+impl LogicalBytes for DeltaOverlay {
+    fn logical_bytes(&self) -> usize {
+        // The base is shared; an overlay's own footprint is its delta lists.
+        self.outs
+            .values()
+            .chain(self.ins.values())
+            .map(|l| l.logical_bytes() + std::mem::size_of::<(NodeId, Vec<NodeId>)>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn base() -> Arc<CsrGraph> {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        Arc::new(
+            GraphBuilder::new()
+                .with_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+                .build(),
+        )
+    }
+
+    #[test]
+    fn clean_overlay_is_pass_through() {
+        let b = base();
+        let o = DeltaOverlay::new(b.clone());
+        assert!(o.is_clean());
+        assert_eq!(o.num_nodes(), b.num_nodes());
+        assert_eq!(o.num_edges(), b.num_edges());
+        for v in 0..4 {
+            assert_eq!(o.out_neighbors(v), b.out_neighbors(v));
+            assert_eq!(o.in_neighbors(v), b.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_update_both_directions() {
+        let mut o = DeltaOverlay::new(base());
+        assert!(o.insert_edge(3, 0));
+        assert!(!o.insert_edge(3, 0), "duplicate insert is a no-op");
+        assert_eq!(o.out_neighbors(3), &[0]);
+        assert_eq!(o.in_neighbors(0), &[3]);
+        assert_eq!(o.num_edges(), 5);
+
+        assert!(o.remove_edge(0, 2));
+        assert!(!o.remove_edge(0, 2), "double remove is a no-op");
+        assert_eq!(o.out_neighbors(0), &[1]);
+        assert_eq!(o.in_neighbors(2), &[] as &[NodeId]);
+        assert_eq!(o.num_edges(), 4);
+        assert_eq!(o.churn(), 2);
+    }
+
+    #[test]
+    fn noop_updates_do_not_materialise_lists() {
+        let mut o = DeltaOverlay::new(base());
+        assert!(!o.insert_edge(0, 1), "edge already in base");
+        assert!(!o.remove_edge(3, 0), "edge not present");
+        assert!(o.is_clean());
+        assert_eq!(o.touched_nodes(), 0);
+    }
+
+    #[test]
+    fn touched_nodes_counts_distinct_endpoints() {
+        let mut o = DeltaOverlay::new(base());
+        o.insert_edge(3, 0); // touches outs[3] and ins[0]: two nodes
+        assert_eq!(o.touched_nodes(), 2);
+        o.insert_edge(3, 2); // outs[3] again, ins[2]: one new node
+        assert_eq!(o.touched_nodes(), 3);
+        o.remove_edge(0, 2); // outs[0]; but 0 and 2 are both already touched
+        assert_eq!(o.touched_nodes(), 3);
+        o.remove_edge(1, 3); // outs[1] new; ins[3] dedups against outs[3]
+        assert_eq!(o.touched_nodes(), 4);
+    }
+
+    #[test]
+    fn lists_stay_sorted_through_mixed_updates() {
+        let mut o = DeltaOverlay::new(base());
+        o.insert_edge(0, 3);
+        o.insert_edge(0, 0);
+        assert_eq!(o.out_neighbors(0), &[0, 1, 2, 3]);
+        assert_eq!(o.in_neighbors(3), &[0, 1, 2]);
+        o.remove_edge(1, 3);
+        assert_eq!(o.in_neighbors(3), &[0, 2]);
+    }
+
+    #[test]
+    fn rebuild_matches_scratch_construction() {
+        let mut o = DeltaOverlay::new(base());
+        o.insert_edge(3, 1);
+        o.remove_edge(0, 1);
+        let want = GraphBuilder::new()
+            .with_num_nodes(4)
+            .with_edges([(0, 2), (1, 3), (2, 3), (3, 1)])
+            .build();
+        let got = o.rebuild();
+        assert_eq!(got, want);
+        assert!(got.validate().is_ok());
+    }
+
+    #[test]
+    fn rebuild_of_clean_overlay_equals_base() {
+        let b = base();
+        let o = DeltaOverlay::new(b.clone());
+        assert_eq!(&o.rebuild(), &*b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_insert() {
+        DeltaOverlay::new(base()).insert_edge(0, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_remove() {
+        DeltaOverlay::new(base()).remove_edge(99, 0);
+    }
+
+    #[test]
+    fn logical_bytes_tracks_churn_not_graph() {
+        let mut o = DeltaOverlay::new(Arc::new(crate::gen::gnm(500, 3000, 3)));
+        let clean = o.logical_bytes();
+        assert_eq!(clean, 0, "clean overlay owns nothing");
+        o.insert_edge(0, 499);
+        assert!(o.logical_bytes() > 0);
+    }
+}

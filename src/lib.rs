@@ -23,6 +23,9 @@ pub use simrank_walks as walks;
 pub mod prelude {
     pub use simrank_common::NodeId;
     pub use simrank_graph::gen::shapes;
-    pub use simrank_graph::{CsrGraph, GraphBuilder, GraphView, MutableGraph};
+    pub use simrank_graph::{
+        CsrGraph, DeltaOverlay, GraphBuilder, GraphSnapshot, GraphStore, GraphUpdate, GraphView,
+        MutableGraph,
+    };
     pub use simrank_walks::{pairwise_simrank_mc, WalkParams};
 }
