@@ -1,0 +1,142 @@
+//! `check_bench_json` — schema gate for the `BENCH_*.json` snapshots.
+//!
+//! The bench emitters hand-write JSON, so CI validates every smoke output
+//! with this checker before uploading it as an artifact: the file must be
+//! non-empty, parse as JSON (`simrank_bench::json`), and carry the
+//! required keys for its `bench` family. Exit code 0 means every file
+//! passed; any failure prints the reason and exits 1, failing the job.
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin check_bench_json -- FILE.json [FILE.json …]
+//! ```
+
+use simrank_bench::json::{self, Json};
+use std::process::ExitCode;
+
+/// Keys every snapshot must carry regardless of family.
+const COMMON: &[&str] = &["bench", "graph.nodes"];
+
+/// Per-family required dotted paths (beyond [`COMMON`]).
+fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
+    match bench {
+        "dynamic_serve" => Some(&[
+            "smoke",
+            "workload.updates",
+            "workload.queries",
+            "store_batched.effective_updates",
+            "store_batched.avg_update_batch_ns",
+            "store_batched.avg_query_ns",
+            "store_batched.queries_per_sec",
+            "store_publish_per_update.avg_update_batch_ns",
+            "csr_rebuild_per_update.avg_rebuild_ns",
+            "csr_rebuild_per_update.avg_query_ns",
+        ]),
+        "sharded_serve" => Some(&[
+            "smoke",
+            "workload.updates",
+            "workload.queries",
+            "workload.cross_fraction",
+            "compaction_threshold_per_shard",
+            "baseline_unsharded.updates_per_sec",
+            "baseline_unsharded.avg_query_ns",
+            "sweep",
+            "cross_traffic_tax.updates_per_sec",
+        ]),
+        "warm_query" => Some(&[
+            "epsilon",
+            "mc_detection.cold_ns_per_query",
+            "mc_detection.warm_ns_per_query",
+            "mc_detection.warm_speedup",
+            "exact_detection.cold_ns_per_query",
+            "exact_detection.warm_ns_per_query",
+            "exact_detection.warm_speedup",
+        ]),
+        _ => None,
+    }
+}
+
+/// Keys every `sweep` element of a `sharded_serve` snapshot must carry.
+const SWEEP_KEYS: &[&str] = &[
+    "k",
+    "effective_updates",
+    "update_wall_ns",
+    "updates_per_sec",
+    "avg_query_ns",
+    "p95_query_ns",
+    "cuts",
+    "compactions",
+];
+
+fn check_file(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
+    if text.trim().is_empty() {
+        return Err(format!("{path}: file is empty"));
+    }
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    let missing = json::missing_paths(&doc, COMMON);
+    if !missing.is_empty() {
+        return Err(format!("{path}: missing required keys {missing:?}"));
+    }
+    let bench = doc
+        .path("bench")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: \"bench\" must be a string"))?
+        .to_owned();
+
+    let Some(required) = required_paths(&bench) else {
+        // Unknown families still had to be valid JSON with the common
+        // keys; don't fail so new emitters can land before the checker
+        // learns their schema.
+        return Ok(format!("{path}: ok (bench \"{bench}\", schema not pinned)"));
+    };
+    let missing = json::missing_paths(&doc, required);
+    if !missing.is_empty() {
+        return Err(format!(
+            "{path}: bench \"{bench}\" missing required keys {missing:?}"
+        ));
+    }
+
+    if bench == "sharded_serve" {
+        let sweep = doc
+            .path("sweep")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{path}: \"sweep\" must be an array"))?;
+        if sweep.is_empty() {
+            return Err(format!("{path}: \"sweep\" must be non-empty"));
+        }
+        for (i, entry) in sweep.iter().enumerate() {
+            let missing = json::missing_paths(entry, SWEEP_KEYS);
+            if !missing.is_empty() {
+                return Err(format!(
+                    "{path}: sweep[{i}] missing required keys {missing:?}"
+                ));
+            }
+        }
+    }
+    Ok(format!("{path}: ok (bench \"{bench}\")"))
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_bench_json FILE.json [FILE.json …]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in &files {
+        match check_file(file) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("FAIL {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,378 @@
+//! `sharded_serve` — machine-readable sharded-serving benchmark snapshot.
+//!
+//! Sweeps the shard count K ∈ {1, 2, 4, 8} of a
+//! [`ShardedStore`] over **one** fixed mixed
+//! update/query workload and writes the timings as JSON
+//! (`BENCH_sharded_serve.json`), so the horizontal-scaling trajectory of
+//! the serving layer stays comparable across PRs. The headline series is
+//! `sweep[*].updates_per_sec`: effective update throughput should rise
+//! monotonically with K while `avg_query_ns` stays flat.
+//!
+//! Methodology notes (see `docs/REPRODUCING.md` for the long version):
+//!
+//! * The workload is generated **once** against an 8-shard
+//!   [`RangePartitioner`] with a small
+//!   cross-shard fraction. Range chunks nest, so the same stream stays
+//!   shard-local at K = 4, 2, 1 — every sweep point commits the identical
+//!   update sequence and the identical query set.
+//! * Update throughput divides logically effective updates by the
+//!   update-side wall (start → last shard writer finished its final
+//!   consistent cut), measured while reader threads run concurrently —
+//!   the serving regime, not an isolated writer microbench.
+//! * Sharding pays off through two mechanisms: K writer threads commit in
+//!   parallel (on multi-core hosts), and per-shard compaction domains
+//!   shrink — a shard rebuild is `O(n + m_k)` instead of `O(n + m)` — so
+//!   the sweep shows gains even on a single core.
+//! * `baseline_unsharded` runs the plain `GraphStore` + `serve_mixed`
+//!   path on the same workload: K = 1 sharding should cost ≈ nothing over
+//!   it (the routing tax), which keeps the sweep honest.
+//! * `cross_traffic_tax` re-runs K = 4 with a
+//!   [`HashPartitioner`], under which the
+//!   same stream is mostly cross-shard and every cross update is mirrored
+//!   into two shards — the replication tax a bad partitioner pays.
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin sharded_serve [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks everything to CI scale (tiny graph, same K sweep) so
+//! the sharded serving path and this emitter cannot silently rot.
+
+use simpush::{
+    serve_mixed, serve_sharded, Config, ServeOptions, ShardedServeOptions, ShardedServeReport,
+    SimPush,
+};
+use simrank_eval::mixed::sharded_workload;
+use simrank_graph::{
+    gen, GraphStore, GraphView, HashPartitioner, Partitioner, RangePartitioner, ShardedStore,
+};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct Scale {
+    nodes: usize,
+    out_deg: usize,
+    updates: usize,
+    queries: usize,
+    updates_per_batch: usize,
+    compact_threshold: usize,
+}
+
+const FULL: Scale = Scale {
+    nodes: 24_000,
+    out_deg: 16,
+    updates: 16_384,
+    queries: 24,
+    updates_per_batch: 64,
+    compact_threshold: 192,
+};
+
+/// CI scale: everything tiny, but thresholds low enough that per-shard
+/// compaction fires at every K, so the whole path (routing → mirrored
+/// applies → per-shard publish → barrier cut → concurrent composite
+/// queries → JSON) is exercised.
+const SMOKE: Scale = Scale {
+    nodes: 400,
+    out_deg: 4,
+    updates: 96,
+    queries: 8,
+    updates_per_batch: 16,
+    compact_threshold: 8,
+};
+
+const SWEEP_KS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOAD_SHARDS: usize = 8;
+const COPY_PROB: f64 = 0.75;
+/// Fraction of base-graph edges crossing cluster (= finest shard)
+/// boundaries — the id-locality of a URL-ordered web crawl.
+const GRAPH_CROSS_FRACTION: f64 = 0.02;
+const GRAPH_SEED: u64 = 7;
+const WORKLOAD_SEED: u64 = 42;
+const REMOVE_FRACTION: f64 = 0.25;
+const CROSS_FRACTION: f64 = 0.05;
+const EPSILON: f64 = 0.02;
+const READER_THREADS: usize = 2;
+
+fn ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+fn sweep_entry(json: &mut String, k: usize, report: &ShardedServeReport, last: bool) {
+    writeln!(json, "    {{").unwrap();
+    writeln!(json, "      \"k\": {k},").unwrap();
+    writeln!(
+        json,
+        "      \"effective_updates\": {},",
+        report.effective_updates
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"update_wall_ns\": {},",
+        ns(report.update_wall)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"updates_per_sec\": {:.1},",
+        report.updates_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"avg_query_ns\": {},",
+        ns(report.avg_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"p95_query_ns\": {},",
+        ns(report.p95_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"queries_per_sec\": {:.1},",
+        report.queries_per_sec()
+    )
+    .unwrap();
+    writeln!(json, "      \"cuts\": {},", report.final_cut).unwrap();
+    writeln!(json, "      \"compactions\": {},", report.compactions).unwrap();
+    writeln!(
+        json,
+        "      \"compaction_total_ns\": {},",
+        ns(report.compaction_time)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"avg_shard_commit_ns\": {},",
+        ns(report.avg_shard_commit_latency())
+    )
+    .unwrap();
+    writeln!(json, "      \"wall_ns\": {}", ns(report.wall)).unwrap();
+    writeln!(json, "    }}{}", if last { "" } else { "," }).unwrap();
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_sharded_serve.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if smoke { SMOKE } else { FULL };
+
+    // Clustered base: id-local like a URL-ordered crawl, with cluster
+    // boundaries aligned to the finest range shards — so shard subgraphs
+    // actually shrink with K, which is what makes per-shard compaction
+    // domains pay off.
+    let base = gen::clustered_copying_web(
+        scale.nodes,
+        WORKLOAD_SHARDS,
+        scale.out_deg,
+        COPY_PROB,
+        GRAPH_CROSS_FRACTION,
+        GRAPH_SEED,
+    );
+    // One workload for every sweep point: generated against the finest
+    // partitioner; range chunks nest, so locality survives at smaller K.
+    let finest = RangePartitioner::new(scale.nodes, WORKLOAD_SHARDS);
+    let workload = sharded_workload(
+        &base,
+        &finest,
+        scale.updates,
+        scale.queries,
+        REMOVE_FRACTION,
+        CROSS_FRACTION,
+        WORKLOAD_SEED,
+    );
+    let engine = SimPush::new(Config::new(EPSILON));
+    let expected_final = workload.final_graph(&base);
+    eprintln!(
+        "[sharded_serve] graph n={} m={}, {} updates, {} queries{}",
+        base.num_nodes(),
+        base.num_edges(),
+        workload.updates.len(),
+        workload.queries.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Reference: the unsharded single-writer GraphStore path.
+    let single = GraphStore::with_compaction_threshold(base.clone(), scale.compact_threshold);
+    let unsharded = serve_mixed(
+        &engine,
+        &single,
+        &workload.queries,
+        &workload.updates,
+        &ServeOptions {
+            reader_threads: READER_THREADS,
+            updates_per_batch: scale.updates_per_batch,
+            top_k: 1,
+        },
+    );
+    assert_eq!(
+        single.snapshot().to_csr(),
+        expected_final,
+        "unsharded store diverged from sequential replay"
+    );
+    let unsharded_update_time: Duration = unsharded.updates.iter().map(|u| u.latency).sum();
+    let unsharded_effective: usize = unsharded.updates.iter().map(|u| u.applied).sum();
+
+    // The K sweep, one identical workload per point.
+    let opts = ShardedServeOptions {
+        reader_threads: READER_THREADS,
+        updates_per_batch: scale.updates_per_batch,
+        top_k: 1,
+    };
+    let mut sweep: Vec<(usize, ShardedServeReport)> = Vec::new();
+    for k in SWEEP_KS {
+        let store = ShardedStore::with_compaction_threshold(
+            &base,
+            RangePartitioner::new(scale.nodes, k),
+            scale.compact_threshold,
+        );
+        let report = serve_sharded(&engine, &store, &workload.queries, &workload.updates, &opts);
+        assert_eq!(
+            store.snapshot().to_csr(),
+            expected_final,
+            "K={k} sharded store diverged from sequential replay"
+        );
+        eprintln!(
+            "[sharded_serve] K={k}: {:.0} updates/s, avg query {:?}, {} compactions",
+            report.updates_per_sec(),
+            report.avg_query_latency(),
+            report.compactions
+        );
+        sweep.push((k, report));
+    }
+
+    // The anti-pattern: a locality-blind hash partitioner turns the same
+    // stream mostly cross-shard, paying the mirror-replication tax.
+    let hash_k = 4;
+    let hash_store = ShardedStore::with_compaction_threshold(
+        &base,
+        HashPartitioner::new(hash_k),
+        scale.compact_threshold,
+    );
+    let hashed = serve_sharded(
+        &engine,
+        &hash_store,
+        &workload.queries,
+        &workload.updates,
+        &opts,
+    );
+    assert_eq!(
+        hash_store.snapshot().to_csr(),
+        expected_final,
+        "hash-partitioned store diverged from sequential replay"
+    );
+    let hash_p = HashPartitioner::new(hash_k);
+    let cross_updates = workload
+        .updates
+        .iter()
+        .filter(|u| {
+            let (s, t) = u.endpoints();
+            hash_p.shard_of(s) != hash_p.shard_of(t)
+        })
+        .count();
+
+    let mut json = String::new();
+    // Hand-rolled JSON: the workspace intentionally has no serde. The
+    // check_bench_json binary validates this output's schema in CI.
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"sharded_serve\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"graph\": {{ \"family\": \"clustered_copying_web\", \"nodes\": {}, \"clusters\": {WORKLOAD_SHARDS}, \"out_degree\": {}, \"copy_prob\": {COPY_PROB}, \"cross_fraction\": {GRAPH_CROSS_FRACTION}, \"seed\": {GRAPH_SEED} }},",
+        scale.nodes, scale.out_deg
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{ \"updates\": {}, \"queries\": {}, \"remove_fraction\": {REMOVE_FRACTION}, \"cross_fraction\": {CROSS_FRACTION}, \"partitioner\": \"range\", \"generated_at_shards\": {WORKLOAD_SHARDS}, \"seed\": {WORKLOAD_SEED} }},",
+        workload.updates.len(),
+        workload.queries.len()
+    )
+    .unwrap();
+    writeln!(json, "  \"epsilon\": {EPSILON},").unwrap();
+    writeln!(
+        json,
+        "  \"compaction_threshold_per_shard\": {},",
+        scale.compact_threshold
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"updates_per_batch\": {},",
+        scale.updates_per_batch
+    )
+    .unwrap();
+    writeln!(json, "  \"reader_threads\": {READER_THREADS},").unwrap();
+    writeln!(json, "  \"baseline_unsharded\": {{").unwrap();
+    writeln!(json, "    \"effective_updates\": {unsharded_effective},").unwrap();
+    writeln!(
+        json,
+        "    \"update_time_ns\": {},",
+        ns(unsharded_update_time)
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"updates_per_sec\": {:.1},",
+        if unsharded_update_time.is_zero() {
+            0.0
+        } else {
+            unsharded_effective as f64 / unsharded_update_time.as_secs_f64()
+        }
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"avg_query_ns\": {},",
+        ns(unsharded.avg_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"p95_query_ns\": {},",
+        ns(unsharded.p95_query_latency())
+    )
+    .unwrap();
+    writeln!(json, "    \"compactions\": {},", unsharded.compactions).unwrap();
+    writeln!(json, "    \"wall_ns\": {}", ns(unsharded.wall)).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"sweep\": [").unwrap();
+    let count = sweep.len();
+    for (i, (k, report)) in sweep.iter().enumerate() {
+        sweep_entry(&mut json, *k, report, i + 1 == count);
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"cross_traffic_tax\": {{").unwrap();
+    writeln!(json, "    \"k\": {hash_k},").unwrap();
+    writeln!(json, "    \"partitioner\": \"hash\",").unwrap();
+    writeln!(json, "    \"cross_updates\": {cross_updates},").unwrap();
+    writeln!(
+        json,
+        "    \"updates_per_sec\": {:.1},",
+        hashed.updates_per_sec()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"avg_query_ns\": {},",
+        ns(hashed.avg_query_latency())
+    )
+    .unwrap();
+    writeln!(json, "    \"compactions\": {}", hashed.compactions).unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

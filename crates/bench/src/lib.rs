@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use simrank_eval::methods::{method_grid, MethodFamily, MethodSetting};
 use simrank_eval::runner::{run_dataset, ExperimentConfig, MethodResult};
 use simrank_eval::{datasets, report};

@@ -58,6 +58,9 @@
 //! end: a writer thread commits edge-update batches to a
 //! [`GraphStore`](simrank_graph::GraphStore) while reader threads answer
 //! queries on immutable epoch snapshots — see the [`serve`] module docs.
+//! [`serve_sharded`] scales the writer side across the K shards of a
+//! [`ShardedStore`](simrank_graph::ShardedStore), with barrier-consistent
+//! composite cuts and the same bit-identity guarantee.
 
 #![warn(missing_docs)]
 
@@ -74,6 +77,9 @@ pub mod workspace;
 
 pub use config::{Config, LevelDetection, McBudget};
 pub use query::{QueryResult, QueryStats, SimPush};
-pub use serve::{serve_mixed, QueryRecord, ServeOptions, ServeReport, UpdateRecord};
+pub use serve::{
+    serve_mixed, serve_sharded, QueryRecord, ServeOptions, ServeReport, ShardUpdateRecord,
+    ShardedServeOptions, ShardedServeReport, UpdateRecord,
+};
 pub use source_graph::SourceGraph;
 pub use workspace::QueryWorkspace;

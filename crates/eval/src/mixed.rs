@@ -14,7 +14,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use simrank_common::NodeId;
-use simrank_graph::{CsrGraph, GraphUpdate, GraphView, MutableGraph};
+use simrank_graph::{CsrGraph, GraphUpdate, GraphView, MutableGraph, Partitioner};
 
 /// A mixed serving workload: an update stream and a query stream.
 #[derive(Debug, Clone)]
@@ -103,6 +103,95 @@ pub fn mixed_workload(
     MixedWorkload { updates, queries }
 }
 
+/// Generates a deterministic **shard-aware** mixed workload over `base`:
+/// like [`mixed_workload`], but each inserted edge crosses shard
+/// boundaries of `partitioner` with probability `cross_fraction` (and
+/// stays shard-local otherwise). Removals target uniformly random present
+/// edges, so over time they inherit the insert mix.
+///
+/// This is the knob sharded serving benchmarks sweep: cross-shard updates
+/// must be mirrored into both incident shards of a
+/// [`ShardedStore`](simrank_graph::ShardedStore), so `cross_fraction`
+/// directly sets the replication tax, and a locality-friendly partitioner
+/// (e.g. [`RangePartitioner`](simrank_graph::RangePartitioner), whose
+/// chunks nest across shard counts when the node count divides evenly)
+/// keeps one generated stream shard-local at every smaller shard count
+/// too — see the nesting caveat on `RangePartitioner` itself.
+///
+/// Locality is best-effort under pressure: if rejection sampling cannot
+/// find an absent edge with the requested side-ness (e.g. a shard's local
+/// edge space saturates), the generator progressively relaxes the
+/// constraint rather than livelocking — every emitted update is still
+/// guaranteed effective. Same `(base, partitioner, sizes, seed)` → same
+/// workload, byte for byte.
+///
+/// # Panics
+/// Panics if `base` has fewer than 2 nodes or `remove_fraction` /
+/// `cross_fraction` is outside `[0, 1]`.
+pub fn sharded_workload<P: Partitioner>(
+    base: &CsrGraph,
+    partitioner: &P,
+    num_updates: usize,
+    num_queries: usize,
+    remove_fraction: f64,
+    cross_fraction: f64,
+    seed: u64,
+) -> MixedWorkload {
+    let n = base.num_nodes();
+    assert!(n >= 2, "need at least two nodes to generate edge updates");
+    assert!(
+        (0.0..=1.0).contains(&remove_fraction),
+        "remove_fraction must be a probability"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cross_fraction),
+        "cross_fraction must be a probability"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut replica = MutableGraph::from_csr(base);
+    let mut updates = Vec::with_capacity(num_updates);
+    let insert_capacity = n * (n - 1);
+    // Consecutive failed insert attempts; past the patience budget the
+    // side-ness constraint is dropped so local saturation cannot livelock
+    // the generator (global saturation is handled like `mixed_workload`).
+    let mut stuck = 0usize;
+    const PATIENCE: usize = 64;
+    while updates.len() < num_updates {
+        let saturated = replica.num_edges() >= insert_capacity;
+        if replica.num_edges() > 0 && (saturated || rng.gen_bool(remove_fraction)) {
+            let s = loop {
+                let s = rng.gen_range(0..n) as NodeId;
+                if replica.out_degree(s) > 0 {
+                    break s;
+                }
+            };
+            let outs = replica.out_neighbors(s);
+            let t = outs[rng.gen_range(0..outs.len())];
+            replica.remove_edge(s, t);
+            updates.push(GraphUpdate::Remove(s, t));
+            stuck = 0;
+        } else {
+            let s = rng.gen_range(0..n) as NodeId;
+            let want_cross = partitioner.num_shards() > 1
+                && cross_fraction > 0.0
+                && rng.gen_bool(cross_fraction);
+            let t = rng.gen_range(0..n) as NodeId;
+            let crosses = partitioner.shard_of(s) != partitioner.shard_of(t);
+            let side_ok = crosses == want_cross || stuck >= PATIENCE;
+            if s != t && side_ok && replica.insert_edge(s, t) {
+                updates.push(GraphUpdate::Insert(s, t));
+                stuck = 0;
+            } else {
+                stuck += 1;
+            }
+        }
+    }
+    let queries = (0..num_queries)
+        .map(|_| rng.gen_range(0..n) as NodeId)
+        .collect();
+    MixedWorkload { updates, queries }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +264,93 @@ mod tests {
         let wl = mixed_workload(&g, 10, 100, 0.2, 11);
         assert_eq!(wl.queries.len(), 100);
         assert!(wl.queries.iter().all(|&q| (q as usize) < 30));
+    }
+
+    mod sharded {
+        use super::*;
+        use simrank_graph::{Partitioner, RangePartitioner};
+
+        #[test]
+        fn same_seed_same_workload_and_every_update_effective() {
+            let g = gen::gnm(64, 320, 8);
+            let p = RangePartitioner::new(64, 4);
+            let a = sharded_workload(&g, &p, 100, 10, 0.3, 0.2, 5);
+            let b = sharded_workload(&g, &p, 100, 10, 0.3, 0.2, 5);
+            assert_eq!(a.updates, b.updates);
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.updates.len(), 100);
+            let mut replica = MutableGraph::from_csr(&g);
+            for (i, &u) in a.updates.iter().enumerate() {
+                let (s, t) = u.endpoints();
+                let effective = match u {
+                    GraphUpdate::Insert(..) => replica.insert_edge(s, t),
+                    GraphUpdate::Remove(..) => replica.remove_edge(s, t),
+                };
+                assert!(effective, "update {i} ({u:?}) was a no-op");
+            }
+        }
+
+        #[test]
+        fn zero_cross_fraction_keeps_inserts_shard_local() {
+            let g = gen::gnm(64, 100, 3);
+            let p = RangePartitioner::new(64, 4);
+            let wl = sharded_workload(&g, &p, 120, 0, 0.2, 0.0, 7);
+            for u in &wl.updates {
+                if matches!(u, GraphUpdate::Insert(..)) {
+                    let (s, t) = u.endpoints();
+                    assert_eq!(
+                        p.shard_of(s),
+                        p.shard_of(t),
+                        "cross insert {u:?} despite cross_fraction = 0"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn full_cross_fraction_makes_inserts_cross_shard() {
+            let g = gen::gnm(64, 100, 3);
+            let p = RangePartitioner::new(64, 2);
+            let wl = sharded_workload(&g, &p, 80, 0, 0.0, 1.0, 9);
+            assert!(wl
+                .updates
+                .iter()
+                .all(|u| matches!(u, GraphUpdate::Insert(..))));
+            for u in &wl.updates {
+                let (s, t) = u.endpoints();
+                assert_ne!(p.shard_of(s), p.shard_of(t), "local insert {u:?}");
+            }
+        }
+
+        #[test]
+        fn locality_survives_shard_count_halving_with_nested_ranges() {
+            // A stream generated local at 8 range shards is local at 4, 2
+            // and 1 — the property the sharded_serve K-sweep relies on to
+            // reuse one workload across shard counts.
+            let g = gen::gnm(160, 400, 12);
+            let fine = RangePartitioner::new(160, 8);
+            let wl = sharded_workload(&g, &fine, 150, 0, 0.25, 0.0, 13);
+            for k in [1usize, 2, 4] {
+                let coarse = RangePartitioner::new(160, k);
+                for u in &wl.updates {
+                    if matches!(u, GraphUpdate::Insert(..)) {
+                        let (s, t) = u.endpoints();
+                        assert_eq!(coarse.shard_of(s), coarse.shard_of(t), "K={k}: {u:?}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn local_saturation_relaxes_instead_of_livelocking() {
+            // 4 nodes, 2 range shards of {0,1} and {2,3}. With
+            // cross_fraction 0 only 4 local non-self-loop edges exist;
+            // asking for more forces the generator to relax.
+            let g = simrank_graph::GraphBuilder::new().with_num_nodes(4).build();
+            let p = RangePartitioner::new(4, 2);
+            let wl = sharded_workload(&g, &p, 6, 0, 0.0, 0.0, 1);
+            assert_eq!(wl.updates.len(), 6, "generation must terminate");
+            wl.final_graph(&g); // replays without a no-op (debug_assert inside)
+        }
     }
 }

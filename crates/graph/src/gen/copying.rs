@@ -58,6 +58,79 @@ pub fn copying_web(n: usize, k: usize, copy_prob: f64, seed: u64) -> CsrGraph {
     builder.build()
 }
 
+/// Generates a **clustered** copying-model web graph: `clusters`
+/// independent copying webs over contiguous id ranges of `⌈n/clusters⌉`
+/// pages each, plus `cross_fraction · m` extra uniformly random edges
+/// between distinct clusters.
+///
+/// Real web crawls ordered by URL have exactly this shape — most links
+/// stay within a host/domain, ids within a domain are contiguous — and it
+/// is the property that makes range partitioning effective on them: a
+/// [`RangePartitioner`](crate::RangePartitioner) with `clusters` shards
+/// keeps all intra-cluster edges shard-local, so only the
+/// `cross_fraction` tail is mirrored across shards. The same holds for
+/// any divisor K of `clusters` **provided `n` is divisible by
+/// `clusters`** (then every `⌈n/K⌉` chunk is a whole multiple of the
+/// cluster size and chunks nest); with a ragged `n` the coarser
+/// boundaries shift and some intra-cluster edges land cross-shard, so
+/// K-sweep benchmarks should pick `n` divisible by `clusters`.
+///
+/// # Panics
+/// Panics if `clusters` is 0, any cluster would have fewer than `k + 2`
+/// pages, or `copy_prob` / `cross_fraction` is not a probability.
+pub fn clustered_copying_web(
+    n: usize,
+    clusters: usize,
+    k: usize,
+    copy_prob: f64,
+    cross_fraction: f64,
+    seed: u64,
+) -> CsrGraph {
+    assert!(clusters >= 1, "need at least one cluster");
+    assert!(
+        (0.0..=1.0).contains(&cross_fraction),
+        "cross_fraction must be a probability"
+    );
+    let chunk = n.div_ceil(clusters);
+    // The last cluster takes the remainder; every cluster must still be a
+    // valid copying web.
+    let last = n - chunk * (clusters - 1);
+    assert!(
+        chunk > k + 1 && last > k + 1,
+        "every cluster needs more pages than links per page"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new().with_num_nodes(n);
+    let mut intra_edges = 0usize;
+    for c in 0..clusters {
+        let lo = c * chunk;
+        let size = if c + 1 == clusters { last } else { chunk };
+        // Per-cluster seeds derived from the master seed so cluster
+        // subgraphs are independent but the whole graph stays a pure
+        // function of `seed`.
+        let sub_seed = seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let sub = copying_web(size, k, copy_prob, sub_seed);
+        for (s, t) in sub.edges() {
+            builder.add_edge((lo + s as usize) as NodeId, (lo + t as usize) as NodeId);
+            intra_edges += 1;
+        }
+    }
+    if clusters > 1 {
+        let cross = (intra_edges as f64 * cross_fraction).round() as usize;
+        for _ in 0..cross {
+            loop {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                if s != t && s / chunk != t / chunk {
+                    builder.add_edge(s as NodeId, t as NodeId);
+                    break;
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +195,59 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_bad_copy_prob() {
         copying_web(100, 3, 1.5, 1);
+    }
+
+    #[test]
+    fn clustered_edges_are_mostly_intra_cluster() {
+        let n = 1600;
+        let clusters = 4;
+        let g = clustered_copying_web(n, clusters, 5, 0.7, 0.05, 11);
+        assert_eq!(g.num_nodes(), n);
+        assert!(g.validate().is_ok());
+        let chunk = n.div_ceil(clusters);
+        let (mut intra, mut cross) = (0usize, 0usize);
+        for (s, t) in g.edges() {
+            if s as usize / chunk == t as usize / chunk {
+                intra += 1;
+            } else {
+                cross += 1;
+            }
+        }
+        assert!(cross > 0, "cross_fraction 0.05 must add cross links");
+        let frac = cross as f64 / (intra + cross) as f64;
+        assert!(
+            frac < 0.08,
+            "cross fraction should stay near requested 0.05, got {frac:.3}"
+        );
+        // Alignment with range partitioning: the nominal chunk is exactly
+        // what RangePartitioner uses, so intra edges are shard-local.
+        use crate::Partitioner;
+        let p = crate::RangePartitioner::new(n, clusters);
+        for (s, t) in g.edges() {
+            if s as usize / chunk == t as usize / chunk {
+                assert_eq!(p.shard_of(s), p.shard_of(t));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_single_cluster_is_plain_copying_web() {
+        let g = clustered_copying_web(500, 1, 4, 0.7, 0.5, 9);
+        let plain = copying_web(500, 4, 0.7, 9 ^ 0x9E37_79B9_7F4A_7C15);
+        assert_eq!(g, plain, "one cluster, derived seed, no cross edges");
+    }
+
+    #[test]
+    fn clustered_deterministic_per_seed() {
+        assert_eq!(
+            clustered_copying_web(900, 3, 4, 0.6, 0.1, 5),
+            clustered_copying_web(900, 3, 4, 0.6, 0.1, 5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more pages than links")]
+    fn clustered_rejects_too_small_clusters() {
+        clustered_copying_web(40, 10, 5, 0.7, 0.0, 1);
     }
 }

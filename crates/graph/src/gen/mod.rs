@@ -20,6 +20,6 @@ pub mod shapes;
 pub use alias::AliasTable;
 pub use ba::barabasi_albert;
 pub use chung_lu::{chung_lu_directed, chung_lu_undirected};
-pub use copying::copying_web;
+pub use copying::{clustered_copying_web, copying_web};
 pub use er::gnm;
 pub use rmat::{rmat, RmatParams};

@@ -16,6 +16,11 @@
 //!   publishes immutable epoch [`GraphSnapshot`]s that many reader threads
 //!   query while the writer keeps mutating, with automatic compaction back
 //!   into CSR past a churn threshold.
+//! * [`ShardedStore`] — the horizontally scalable serving layer: the node
+//!   universe partitioned across K single-writer [`GraphStore`] shards by a
+//!   pluggable [`Partitioner`] (hash or range), each publishing
+//!   independently; queries run against composite consistent-cut
+//!   [`ShardedSnapshot`]s that route node id → shard.
 //! * [`GraphBuilder`] — edge accumulation with deduplication, self-loop
 //!   policy and undirected symmetrisation (paper §2.1 converts undirected
 //!   inputs to edge pairs).
@@ -32,6 +37,7 @@ pub mod gen;
 pub mod io;
 pub mod mutable;
 pub mod overlay;
+pub mod sharded;
 pub mod stats;
 pub mod store;
 pub mod view;
@@ -40,6 +46,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use mutable::MutableGraph;
 pub use overlay::DeltaOverlay;
+pub use sharded::{HashPartitioner, Partitioner, RangePartitioner, ShardedSnapshot, ShardedStore};
 pub use simrank_common::NodeId;
 pub use stats::GraphStats;
 pub use store::{GraphSnapshot, GraphStore, GraphUpdate, PublishInfo};

@@ -39,6 +39,19 @@ pub enum GraphUpdate {
     Remove(NodeId, NodeId),
 }
 
+impl GraphUpdate {
+    /// The `(src, dst)` endpoints of the edge this update names,
+    /// independent of direction of change — what routing layers (e.g.
+    /// [`ShardedStore::route_batch`](crate::ShardedStore::route_batch))
+    /// partition on.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            GraphUpdate::Insert(s, t) | GraphUpdate::Remove(s, t) => (s, t),
+        }
+    }
+}
+
 /// An immutable epoch of a [`GraphStore`]: a [`DeltaOverlay`] frozen at
 /// publish time, tagged with its epoch number.
 ///

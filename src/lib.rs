@@ -25,7 +25,8 @@ pub mod prelude {
     pub use simrank_graph::gen::shapes;
     pub use simrank_graph::{
         CsrGraph, DeltaOverlay, GraphBuilder, GraphSnapshot, GraphStore, GraphUpdate, GraphView,
-        MutableGraph,
+        HashPartitioner, MutableGraph, Partitioner, RangePartitioner, ShardedSnapshot,
+        ShardedStore,
     };
     pub use simrank_walks::{pairwise_simrank_mc, WalkParams};
 }
