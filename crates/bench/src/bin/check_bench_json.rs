@@ -1,16 +1,37 @@
-//! `check_bench_json` — schema gate for the `BENCH_*.json` snapshots.
+//! `check_bench_json` — schema, range and regression gate for the
+//! `BENCH_*.json` snapshots.
 //!
-//! The bench emitters hand-write JSON, so CI validates every smoke output
-//! with this checker before uploading it as an artifact: the file must be
-//! non-empty, parse as JSON (`simrank_bench::json`), and carry the
-//! required keys for its `bench` family. Exit code 0 means every file
-//! passed; any failure prints the reason and exits 1, failing the job.
+//! The bench emitters hand-write their JSON, so CI validates every smoke
+//! output with this checker before uploading it as an artifact. Two modes:
+//!
+//! **Validate** (default): each file must be non-empty, parse as JSON
+//! (`simrank_bench::json`), carry the required keys for its `bench`
+//! family, **and** satisfy that family's numeric range assertions
+//! (`reject_rate ∈ [0, 1]`, positive throughputs, …) — so a snapshot that
+//! is schema-valid but numerically nonsense fails the gate too. Files
+//! whose `smoke` flag is true get additional smoke-only bounds (e.g. the
+//! front-end's deadline-miss rate must stay ≤ 0.5 at CI scale).
 //!
 //! ```text
-//! cargo run --release -p simrank_bench --bin check_bench_json -- FILE.json [FILE.json …]
+//! check_bench_json FILE.json [FILE.json …]
 //! ```
+//!
+//! **Compare**: ratio the designated throughput metrics of a candidate
+//! snapshot against a committed baseline of the same bench family, print
+//! a summary table, and fail if any metric dropped more than the allowed
+//! fraction (default 30 %). CI runs every serving smoke output against
+//! the committed full-run snapshot — a coarse floor that catches a
+//! serving path collapsing, since a smoke run on a tiny graph should
+//! never be slower than the committed full run on a graph 50× larger.
+//!
+//! ```text
+//! check_bench_json --compare BASELINE.json CANDIDATE.json [--max-drop 0.30]
+//! ```
+//!
+//! Exit code 0 means every check passed; any failure prints the reason
+//! and exits 1, failing the CI job.
 
-use simrank_bench::json::{self, Json};
+use simrank_bench::json::{self, Bound, Json};
 use std::process::ExitCode;
 
 /// Keys every snapshot must carry regardless of family.
@@ -26,6 +47,8 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "store_batched.effective_updates",
             "store_batched.avg_update_batch_ns",
             "store_batched.avg_query_ns",
+            "store_batched.p95_query_ns",
+            "store_batched.p99_query_ns",
             "store_batched.queries_per_sec",
             "store_publish_per_update.avg_update_batch_ns",
             "csr_rebuild_per_update.avg_rebuild_ns",
@@ -39,6 +62,7 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "compaction_threshold_per_shard",
             "baseline_unsharded.updates_per_sec",
             "baseline_unsharded.avg_query_ns",
+            "baseline_unsharded.p99_query_ns",
             "sweep",
             "cross_traffic_tax.updates_per_sec",
         ]),
@@ -51,39 +75,166 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "exact_detection.warm_ns_per_query",
             "exact_detection.warm_speedup",
         ]),
+        "frontend_serve" => Some(&[
+            "smoke",
+            "workload.queries",
+            "workload.updates",
+            "options.workers",
+            "options.queue_capacity",
+            "options.deadline_ms",
+            "calibration.mean_service_ns",
+            "calibration.capacity_qps",
+            "sweep",
+        ]),
         _ => None,
     }
 }
 
 /// Keys every `sweep` element of a `sharded_serve` snapshot must carry.
-const SWEEP_KEYS: &[&str] = &[
+const SHARDED_SWEEP_KEYS: &[&str] = &[
     "k",
     "effective_updates",
     "update_wall_ns",
     "updates_per_sec",
     "avg_query_ns",
     "p95_query_ns",
+    "p99_query_ns",
     "cuts",
     "compactions",
 ];
 
-fn check_file(path: &str) -> Result<String, String> {
+/// Keys every `sweep` element of a `frontend_serve` snapshot must carry —
+/// one offered-load point each.
+const FRONTEND_SWEEP_KEYS: &[&str] = &[
+    "load_factor",
+    "offered_qps",
+    "requests",
+    "accepted",
+    "rejected",
+    "answered",
+    "deadline_misses",
+    "throughput_qps",
+    "reject_rate",
+    "deadline_miss_rate",
+    "p50_latency_ns",
+    "p95_latency_ns",
+    "p99_latency_ns",
+    "avg_queue_wait_ns",
+    "max_queue_depth",
+    "wall_ns",
+];
+
+/// Range assertions for `dynamic_serve` snapshots.
+const DYNAMIC_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::at_least("store_batched.effective_updates", 1.0),
+    Bound::at_least("store_batched.queries_per_sec", 0.1),
+    Bound::at_least("store_batched.avg_query_ns", 1.0),
+    Bound::at_least("csr_rebuild_per_update.avg_rebuild_ns", 1.0),
+];
+
+/// Range assertions for `sharded_serve` snapshots.
+const SHARDED_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::between("workload.cross_fraction", 0.0, 1.0),
+    Bound::at_least("baseline_unsharded.updates_per_sec", 1.0),
+    Bound::at_least("sweep[*].updates_per_sec", 1.0),
+    Bound::at_least("sweep[*].avg_query_ns", 1.0),
+    Bound::at_least("sweep[*].effective_updates", 1.0),
+    Bound::at_least("cross_traffic_tax.updates_per_sec", 1.0),
+];
+
+/// Range assertions for `warm_query` snapshots. A warm speedup far below
+/// 1 would mean workspace reuse is actively hurting — a bug, not noise.
+const WARM_BOUNDS: &[Bound] = &[
+    Bound::at_least("mc_detection.cold_ns_per_query", 1.0),
+    Bound::at_least("exact_detection.cold_ns_per_query", 1.0),
+    Bound::at_least("mc_detection.warm_speedup", 0.5),
+    Bound::at_least("exact_detection.warm_speedup", 0.5),
+];
+
+/// Range assertions for `frontend_serve` snapshots.
+const FRONTEND_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::at_least("options.workers", 1.0),
+    Bound::at_least("options.queue_capacity", 1.0),
+    Bound::at_least("calibration.mean_service_ns", 1.0),
+    Bound::at_least("calibration.capacity_qps", 0.1),
+    Bound::between("sweep[*].reject_rate", 0.0, 1.0),
+    Bound::between("sweep[*].deadline_miss_rate", 0.0, 1.0),
+    Bound::at_least("sweep[*].offered_qps", 0.1),
+    Bound::at_least("sweep[*].throughput_qps", 0.1),
+    Bound::at_least("sweep[*].p99_latency_ns", 1.0),
+    Bound::at_least("sweep[*].requests", 1.0),
+];
+
+/// At CI scale the sweep's deadline is generous relative to the queue, so
+/// even the overloaded points must reject (cheap) rather than
+/// accept-then-expire (wasted queueing): a majority of misses means the
+/// deadline machinery is broken.
+const FRONTEND_SMOKE_BOUNDS: &[Bound] = &[Bound::at_most("sweep[*].deadline_miss_rate", 0.5)];
+
+/// Range assertions applied to every snapshot of a family. Each doubles
+/// as a presence check (a path resolving to nothing is a violation).
+fn family_bounds(bench: &str) -> &'static [Bound] {
+    match bench {
+        "dynamic_serve" => DYNAMIC_BOUNDS,
+        "sharded_serve" => SHARDED_BOUNDS,
+        "warm_query" => WARM_BOUNDS,
+        "frontend_serve" => FRONTEND_BOUNDS,
+        _ => &[],
+    }
+}
+
+/// Extra bounds applied only when the snapshot's `smoke` flag is true —
+/// CI-scale invariants that a full run is allowed to exceed.
+fn smoke_bounds(bench: &str) -> &'static [Bound] {
+    match bench {
+        "frontend_serve" => FRONTEND_SMOKE_BOUNDS,
+        _ => &[],
+    }
+}
+
+/// Designated higher-is-better throughput metrics for `--compare`.
+///
+/// Chosen so a smoke run (tiny graph) compared against the committed full
+/// run (large graph) can only fail when something is genuinely broken:
+/// per-query and calibration throughputs scale *up* as graphs shrink.
+fn throughput_metrics(bench: &str) -> Option<&'static [&'static str]> {
+    match bench {
+        "dynamic_serve" => Some(&[
+            "store_batched.queries_per_sec",
+            "store_publish_per_update.queries_per_sec",
+        ]),
+        "sharded_serve" => Some(&["sweep[*].queries_per_sec"]),
+        "frontend_serve" => Some(&["calibration.capacity_qps"]),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Result<Json, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read file: {e}"))?;
     if text.trim().is_empty() {
         return Err(format!("{path}: file is empty"));
     }
-    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
 
-    let missing = json::missing_paths(&doc, COMMON);
+fn bench_family(path: &str, doc: &Json) -> Result<String, String> {
+    let missing = json::missing_paths(doc, COMMON);
     if !missing.is_empty() {
         return Err(format!("{path}: missing required keys {missing:?}"));
     }
-    let bench = doc
-        .path("bench")
+    doc.path("bench")
         .and_then(Json::as_str)
-        .ok_or_else(|| format!("{path}: \"bench\" must be a string"))?
-        .to_owned();
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{path}: \"bench\" must be a string"))
+}
+
+fn check_file(path: &str) -> Result<String, String> {
+    let doc = load(path)?;
+    let bench = bench_family(path, &doc)?;
 
     let Some(required) = required_paths(&bench) else {
         // Unknown families still had to be valid JSON with the common
@@ -98,7 +249,13 @@ fn check_file(path: &str) -> Result<String, String> {
         ));
     }
 
-    if bench == "sharded_serve" {
+    // Per-element sweep schemas.
+    let sweep_keys: &[&str] = match bench.as_str() {
+        "sharded_serve" => SHARDED_SWEEP_KEYS,
+        "frontend_serve" => FRONTEND_SWEEP_KEYS,
+        _ => &[],
+    };
+    if !sweep_keys.is_empty() {
         let sweep = doc
             .path("sweep")
             .and_then(Json::as_array)
@@ -107,7 +264,7 @@ fn check_file(path: &str) -> Result<String, String> {
             return Err(format!("{path}: \"sweep\" must be non-empty"));
         }
         for (i, entry) in sweep.iter().enumerate() {
-            let missing = json::missing_paths(entry, SWEEP_KEYS);
+            let missing = json::missing_paths(entry, sweep_keys);
             if !missing.is_empty() {
                 return Err(format!(
                     "{path}: sweep[{i}] missing required keys {missing:?}"
@@ -115,17 +272,120 @@ fn check_file(path: &str) -> Result<String, String> {
             }
         }
     }
-    Ok(format!("{path}: ok (bench \"{bench}\")"))
+
+    // Range assertions: schema-valid but numerically nonsense fails too.
+    let mut violations = json::check_bounds(&doc, family_bounds(&bench));
+    if doc.path("smoke").and_then(Json::as_bool) == Some(true) {
+        violations.extend(json::check_bounds(&doc, smoke_bounds(&bench)));
+    }
+    if !violations.is_empty() {
+        return Err(format!(
+            "{path}: bench \"{bench}\" range violations:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+    Ok(format!("{path}: ok (bench \"{bench}\", ranges checked)"))
+}
+
+/// The `--compare` mode: regression table + verdict. Returns `Ok(true)`
+/// when the candidate holds up, `Ok(false)` on a regression.
+fn compare(baseline_path: &str, candidate_path: &str, max_drop: f64) -> Result<bool, String> {
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    let base_bench = bench_family(baseline_path, &baseline)?;
+    let cand_bench = bench_family(candidate_path, &candidate)?;
+    if base_bench != cand_bench {
+        return Err(format!(
+            "bench family mismatch: baseline is \"{base_bench}\", candidate is \"{cand_bench}\""
+        ));
+    }
+    let Some(metrics) = throughput_metrics(&base_bench) else {
+        println!(
+            "compare: bench \"{base_bench}\" has no pinned throughput metrics — nothing to gate"
+        );
+        return Ok(true);
+    };
+    let rows = json::compare_throughput(&baseline, &candidate, metrics, max_drop)
+        .map_err(|e| format!("{candidate_path} vs {baseline_path}: {e}"))?;
+
+    println!(
+        "regression check: {candidate_path} vs baseline {baseline_path} (bench \"{base_bench}\", max drop {:.0}%)",
+        max_drop * 100.0
+    );
+    println!(
+        "{:<44} {:>14} {:>14} {:>8}  status",
+        "metric", "baseline", "candidate", "ratio"
+    );
+    let mut ok = true;
+    for row in &rows {
+        println!(
+            "{:<44} {:>14.1} {:>14.1} {:>7.2}x  {}",
+            row.metric,
+            row.baseline,
+            row.candidate,
+            row.ratio,
+            if row.regressed { "REGRESSED" } else { "ok" }
+        );
+        ok &= !row.regressed;
+    }
+    Ok(ok)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: check_bench_json FILE.json [FILE.json …]");
+    eprintln!("       check_bench_json --compare BASELINE.json CANDIDATE.json [--max-drop 0.30]");
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: check_bench_json FILE.json [FILE.json …]");
-        return ExitCode::FAILURE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
     }
+
+    if args[0] == "--compare" {
+        let mut max_drop = 0.30;
+        let mut files = Vec::new();
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            if arg == "--max-drop" {
+                // Validate here: a fraction outside [0, 1) would hit the
+                // library assert and die with a raw panic instead of a
+                // clean usage error in the CI log.
+                let Some(v) = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| (0.0..1.0).contains(v))
+                else {
+                    eprintln!("--max-drop must be a fraction in [0, 1)");
+                    return usage();
+                };
+                max_drop = v;
+            } else {
+                files.push(arg.clone());
+            }
+        }
+        let [baseline, candidate] = files.as_slice() else {
+            return usage();
+        };
+        return match compare(baseline, candidate, max_drop) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => {
+                eprintln!(
+                    "FAIL: throughput regressed more than {:.0}%",
+                    max_drop * 100.0
+                );
+                ExitCode::FAILURE
+            }
+            Err(msg) => {
+                eprintln!("FAIL {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut failed = false;
-    for file in &files {
+    for file in &args {
         match check_file(file) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {

@@ -93,6 +93,12 @@ fn serve_section(json: &mut String, name: &str, batch: usize, report: &ServeRepo
     .unwrap();
     writeln!(
         json,
+        "    \"p99_query_ns\": {},",
+        ns(report.p99_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
         "    \"queries_per_sec\": {:.1},",
         report.queries_per_sec()
     )

@@ -1,0 +1,428 @@
+//! `frontend_serve` — machine-readable saturation sweep of the serving
+//! front-end.
+//!
+//! Drives the [`Frontend`] (bounded admission queue + worker pool +
+//! per-query deadlines) with **open-loop** arrival traffic at a ladder of
+//! offered loads and writes the result as JSON
+//! (`BENCH_frontend_serve.json`), so the admission layer's saturation
+//! behaviour stays comparable across PRs. Open loop means arrivals never
+//! wait for the server — exactly how real users behave — which is what
+//! makes the **saturation knee** visible:
+//!
+//! * **below the knee** (offered < capacity): throughput tracks offered
+//!   load, the queue stays shallow, `reject_rate ≈ 0`, p95 latency flat;
+//! * **above the knee** (offered > capacity): throughput plateaus at
+//!   capacity, the queue pins at its cap, and the excess shows up as
+//!   `reject_rate > 0` — *shed at admission for the cost of a failed
+//!   `try_send`*, not queued until worthless.
+//!
+//! The ladder is expressed in multiples of measured capacity
+//! (`calibration`: a closed-loop run through the same front-end), so the
+//! knee sits at `load_factor ≈ 1.0` by construction on any machine.
+//! A writer thread commits the deterministic mixed update stream
+//! throughout every point, so answers span epochs like real serving —
+//! each response records the epoch it was answered from and remains
+//! replayable (`tests/integration_serve.rs` pins that contract).
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin frontend_serve [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks everything to CI scale (tiny graph, 3 load points);
+//! CI validates the output with `check_bench_json` (schema + numeric
+//! ranges) and compares `calibration.capacity_qps` against the committed
+//! full-run snapshot.
+
+use simpush::{Config, Frontend, FrontendOptions, QueryOutcome, SimPush, Ticket};
+use simrank_common::stats::duration_percentile;
+use simrank_common::NodeId;
+use simrank_eval::mixed::{mixed_workload, open_loop_arrivals};
+use simrank_graph::{gen, GraphStore, GraphUpdate, GraphView};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Scale {
+    nodes: usize,
+    out_deg: usize,
+    updates: usize,
+    query_pool: usize,
+    updates_per_batch: usize,
+    compact_threshold: usize,
+    workers: usize,
+    queue_capacity: usize,
+    calib_requests: usize,
+    point_secs: f64,
+    load_factors: &'static [f64],
+    epsilon: f64,
+}
+
+const FULL: Scale = Scale {
+    nodes: 20_000,
+    out_deg: 8,
+    updates: 2_048,
+    query_pool: 64,
+    updates_per_batch: 64,
+    compact_threshold: 512,
+    workers: 2,
+    queue_capacity: 64,
+    calib_requests: 200,
+    point_secs: 4.0,
+    load_factors: &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0],
+    epsilon: 0.02,
+};
+
+/// CI scale: tiny graph, three load points straddling the knee — enough
+/// to exercise admission, rejection, deadlines, the writer and the JSON
+/// schema end to end in a couple of seconds.
+const SMOKE: Scale = Scale {
+    nodes: 400,
+    out_deg: 4,
+    updates: 64,
+    query_pool: 8,
+    updates_per_batch: 16,
+    compact_threshold: 16,
+    workers: 2,
+    queue_capacity: 16,
+    calib_requests: 40,
+    point_secs: 0.4,
+    load_factors: &[0.5, 1.0, 2.0],
+    epsilon: 0.05,
+};
+
+const COPY_PROB: f64 = 0.75;
+const GRAPH_SEED: u64 = 7;
+const WORKLOAD_SEED: u64 = 42;
+const REMOVE_FRACTION: f64 = 0.3;
+const BURSTINESS: f64 = 0.1;
+
+fn ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+struct PointReport {
+    load_factor: f64,
+    offered_qps: f64,
+    requests: usize,
+    accepted: u64,
+    rejected: u64,
+    answered: u64,
+    deadline_misses: u64,
+    throughput_qps: f64,
+    p50: Duration,
+    p95: Duration,
+    p99: Duration,
+    avg_queue_wait: Duration,
+    max_queue_depth: usize,
+    wall: Duration,
+}
+
+/// Runs one offered-load point: a fresh store + front-end, a paced writer
+/// replaying the update stream, and the open-loop submission of
+/// `arrivals`.
+#[allow(clippy::too_many_arguments)]
+fn run_point(
+    engine: &SimPush,
+    base: &simrank_graph::CsrGraph,
+    updates: &Arc<Vec<GraphUpdate>>,
+    queries: &[NodeId],
+    scale: &Scale,
+    deadline: Duration,
+    load_factor: f64,
+    capacity_qps: f64,
+    seed: u64,
+) -> (PointReport, simrank_graph::CsrGraph) {
+    let offered_qps = load_factor * capacity_qps;
+    let requests = ((offered_qps * scale.point_secs) as usize).max(32);
+    let mean_gap = Duration::from_secs_f64(1.0 / offered_qps);
+    let arrivals = open_loop_arrivals(requests, mean_gap, BURSTINESS, seed);
+    let expected_wall = arrivals.last().copied().unwrap_or_default();
+
+    let store = Arc::new(GraphStore::with_compaction_threshold(
+        base.clone(),
+        scale.compact_threshold,
+    ));
+    let frontend = Frontend::start(
+        engine,
+        store.clone(),
+        FrontendOptions {
+            workers: scale.workers,
+            queue_capacity: scale.queue_capacity,
+            default_deadline: Some(deadline),
+            top_k: 1,
+            synthetic_service_delay: Duration::ZERO,
+        },
+    );
+
+    // The writer paces the whole update stream across the point's
+    // expected duration, so epochs advance under live query traffic.
+    let writer = {
+        let store = store.clone();
+        let updates = updates.clone();
+        let batch = scale.updates_per_batch;
+        let num_batches = updates.len().div_ceil(batch).max(1);
+        let pace = expected_wall / num_batches as u32;
+        std::thread::spawn(move || {
+            for chunk in updates.chunks(batch) {
+                store.commit(chunk);
+                std::thread::sleep(pace);
+            }
+        })
+    };
+
+    // Open-loop submission: sleep to each arrival offset (or submit
+    // immediately when behind schedule — lateness becomes a burst, which
+    // preserves the offered rate), shed rejected requests on the spot.
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(requests);
+    for (i, &offset) in arrivals.iter().enumerate() {
+        let target = start + offset;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        if let Ok(ticket) = frontend.try_submit(queries[i % queries.len()]) {
+            tickets.push(ticket);
+        }
+    }
+
+    // Drain: every accepted request resolves exactly once.
+    let mut latencies = Vec::with_capacity(tickets.len());
+    let mut queue_waits = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        match ticket.wait() {
+            QueryOutcome::Answered(r) => {
+                latencies.push(r.queue_wait + r.service);
+                queue_waits.push(r.queue_wait);
+            }
+            QueryOutcome::DeadlineMissed { queue_wait, .. } => queue_waits.push(queue_wait),
+            QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
+        }
+    }
+    let wall = start.elapsed();
+    writer.join().expect("writer thread panicked");
+    let stats = frontend.shutdown();
+    assert_eq!(stats.accepted + stats.rejected, requests as u64);
+    assert_eq!(stats.answered as usize, latencies.len());
+
+    let avg_queue_wait = if queue_waits.is_empty() {
+        Duration::ZERO
+    } else {
+        queue_waits.iter().sum::<Duration>() / queue_waits.len() as u32
+    };
+    let report = PointReport {
+        load_factor,
+        offered_qps,
+        requests,
+        accepted: stats.accepted,
+        rejected: stats.rejected,
+        answered: stats.answered,
+        deadline_misses: stats.deadline_misses,
+        throughput_qps: if wall.is_zero() {
+            0.0
+        } else {
+            stats.answered as f64 / wall.as_secs_f64()
+        },
+        p50: duration_percentile(latencies.iter().copied(), 50),
+        p95: duration_percentile(latencies.iter().copied(), 95),
+        p99: duration_percentile(latencies.iter().copied(), 99),
+        avg_queue_wait,
+        max_queue_depth: stats.max_queue_depth,
+        wall,
+    };
+    (report, store.snapshot().to_csr())
+}
+
+fn sweep_entry(json: &mut String, p: &PointReport, last: bool) {
+    let accepted = p.accepted.max(1) as f64;
+    writeln!(json, "    {{").unwrap();
+    writeln!(json, "      \"load_factor\": {},", p.load_factor).unwrap();
+    writeln!(json, "      \"offered_qps\": {:.1},", p.offered_qps).unwrap();
+    writeln!(json, "      \"requests\": {},", p.requests).unwrap();
+    writeln!(json, "      \"accepted\": {},", p.accepted).unwrap();
+    writeln!(json, "      \"rejected\": {},", p.rejected).unwrap();
+    writeln!(json, "      \"answered\": {},", p.answered).unwrap();
+    writeln!(json, "      \"deadline_misses\": {},", p.deadline_misses).unwrap();
+    writeln!(json, "      \"throughput_qps\": {:.1},", p.throughput_qps).unwrap();
+    writeln!(
+        json,
+        "      \"reject_rate\": {:.4},",
+        p.rejected as f64 / p.requests as f64
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"deadline_miss_rate\": {:.4},",
+        p.deadline_misses as f64 / accepted
+    )
+    .unwrap();
+    writeln!(json, "      \"p50_latency_ns\": {},", ns(p.p50)).unwrap();
+    writeln!(json, "      \"p95_latency_ns\": {},", ns(p.p95)).unwrap();
+    writeln!(json, "      \"p99_latency_ns\": {},", ns(p.p99)).unwrap();
+    writeln!(
+        json,
+        "      \"avg_queue_wait_ns\": {},",
+        ns(p.avg_queue_wait)
+    )
+    .unwrap();
+    writeln!(json, "      \"max_queue_depth\": {},", p.max_queue_depth).unwrap();
+    writeln!(json, "      \"wall_ns\": {}", ns(p.wall)).unwrap();
+    writeln!(json, "    }}{}", if last { "" } else { "," }).unwrap();
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_frontend_serve.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if smoke { SMOKE } else { FULL };
+
+    let base = gen::copying_web(scale.nodes, scale.out_deg, COPY_PROB, GRAPH_SEED);
+    let workload = mixed_workload(
+        &base,
+        scale.updates,
+        scale.query_pool,
+        REMOVE_FRACTION,
+        WORKLOAD_SEED,
+    );
+    let updates = Arc::new(workload.updates.clone());
+    let expected_final = workload.final_graph(&base);
+    let engine = SimPush::new(Config::new(scale.epsilon));
+    eprintln!(
+        "[frontend_serve] graph n={} m={}, {} updates, query pool {}{}",
+        base.num_nodes(),
+        base.num_edges(),
+        updates.len(),
+        workload.queries.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Calibration: closed-loop through the same front-end (quiescent
+    // store) — submit_timeout keeps the pipeline full, so the achieved
+    // rate *is* the service capacity the sweep's load factors scale.
+    let calib_store = Arc::new(GraphStore::new(base.clone()));
+    let calib_frontend = Frontend::start(
+        &engine,
+        calib_store,
+        FrontendOptions {
+            workers: scale.workers,
+            queue_capacity: scale.queue_capacity,
+            default_deadline: None,
+            top_k: 1,
+            synthetic_service_delay: Duration::ZERO,
+        },
+    );
+    let calib_start = Instant::now();
+    let tickets: Vec<Ticket> = (0..scale.calib_requests)
+        .map(|i| {
+            calib_frontend
+                .submit_timeout(
+                    workload.queries[i % workload.queries.len()],
+                    Duration::from_secs(60),
+                )
+                .expect("calibration submission failed")
+        })
+        .collect();
+    let mut service_total = Duration::ZERO;
+    for ticket in tickets {
+        match ticket.wait() {
+            QueryOutcome::Answered(r) => service_total += r.service,
+            QueryOutcome::DeadlineMissed { .. } => unreachable!("no deadline in calibration"),
+            QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
+        }
+    }
+    let calib_wall = calib_start.elapsed();
+    calib_frontend.shutdown();
+    let capacity_qps = scale.calib_requests as f64 / calib_wall.as_secs_f64();
+    let mean_service = service_total / scale.calib_requests as u32;
+    // Deadline: generous relative to the worst queueing the bounded queue
+    // can impose (≈ capacity × mean service when pinned full), so below
+    // the knee nothing expires and above it the excess is *rejected*, not
+    // accepted-then-dropped.
+    let deadline = mean_service * (4 * scale.queue_capacity) as u32;
+    eprintln!(
+        "[frontend_serve] calibrated: capacity {capacity_qps:.0} q/s, mean service {mean_service:?}, deadline {deadline:?}"
+    );
+
+    let mut points: Vec<PointReport> = Vec::with_capacity(scale.load_factors.len());
+    for (i, &load_factor) in scale.load_factors.iter().enumerate() {
+        let (report, final_csr) = run_point(
+            &engine,
+            &base,
+            &updates,
+            &workload.queries,
+            &scale,
+            deadline,
+            load_factor,
+            capacity_qps,
+            WORKLOAD_SEED + 1000 + i as u64,
+        );
+        assert_eq!(
+            final_csr, expected_final,
+            "store diverged from sequential replay at load {load_factor}"
+        );
+        eprintln!(
+            "[frontend_serve] load {load_factor:.2}: offered {:.0} q/s → {:.0} q/s, reject {:.1}%, miss {:.1}%, p95 {:?}",
+            report.offered_qps,
+            report.throughput_qps,
+            100.0 * report.rejected as f64 / report.requests as f64,
+            100.0 * report.deadline_misses as f64 / report.accepted.max(1) as f64,
+            report.p95
+        );
+        points.push(report);
+    }
+
+    let mut json = String::new();
+    // Hand-rolled JSON: the workspace intentionally has no serde. The
+    // check_bench_json binary validates schema AND numeric ranges in CI.
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"frontend_serve\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"graph\": {{ \"family\": \"copying_web\", \"nodes\": {}, \"out_degree\": {}, \"copy_prob\": {COPY_PROB}, \"seed\": {GRAPH_SEED} }},",
+        scale.nodes, scale.out_deg
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"workload\": {{ \"queries\": {}, \"updates\": {}, \"remove_fraction\": {REMOVE_FRACTION}, \"burstiness\": {BURSTINESS}, \"updates_per_batch\": {}, \"seed\": {WORKLOAD_SEED} }},",
+        workload.queries.len(),
+        updates.len(),
+        scale.updates_per_batch
+    )
+    .unwrap();
+    writeln!(json, "  \"epsilon\": {},", scale.epsilon).unwrap();
+    writeln!(
+        json,
+        "  \"options\": {{ \"workers\": {}, \"queue_capacity\": {}, \"deadline_ms\": {:.3}, \"top_k\": 1, \"compaction_threshold\": {} }},",
+        scale.workers,
+        scale.queue_capacity,
+        deadline.as_secs_f64() * 1e3,
+        scale.compact_threshold
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"calibration\": {{ \"requests\": {}, \"mean_service_ns\": {}, \"capacity_qps\": {capacity_qps:.1} }},",
+        scale.calib_requests,
+        ns(mean_service)
+    )
+    .unwrap();
+    writeln!(json, "  \"sweep\": [").unwrap();
+    let count = points.len();
+    for (i, point) in points.iter().enumerate() {
+        sweep_entry(&mut json, point, i + 1 == count);
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -132,6 +132,12 @@ fn sweep_entry(json: &mut String, k: usize, report: &ShardedServeReport, last: b
     .unwrap();
     writeln!(
         json,
+        "      \"p99_query_ns\": {},",
+        ns(report.p99_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
         "      \"queries_per_sec\": {:.1},",
         report.queries_per_sec()
     )
@@ -341,6 +347,12 @@ fn main() {
         json,
         "    \"p95_query_ns\": {},",
         ns(unsharded.p95_query_latency())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "    \"p99_query_ns\": {},",
+        ns(unsharded.p99_query_latency())
     )
     .unwrap();
     writeln!(json, "    \"compactions\": {},", unsharded.compactions).unwrap();

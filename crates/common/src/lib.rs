@@ -19,6 +19,9 @@
 //!   accounting.
 //! * [`seeds`] — SplitMix64 seed derivation so that parallel samplers and
 //!   dataset generators are deterministic from a single master seed.
+//! * [`stats`] — the shared nearest-rank percentile helper every latency
+//!   report (serve reports, front-end sweeps) goes through, so `p95`/`p99`
+//!   mean the same thing everywhere.
 //! * [`workspace`] — [`EpochVec`], an epoch-stamped dense scratch vector
 //!   with O(1) logical clear; the building block of the reusable per-query
 //!   workspaces that let a steady-state query loop allocate nothing.
@@ -29,6 +32,7 @@ pub mod hash;
 pub mod hybrid;
 pub mod mem;
 pub mod seeds;
+pub mod stats;
 pub mod timer;
 pub mod workspace;
 

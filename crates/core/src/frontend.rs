@@ -1,0 +1,849 @@
+//! Async serving front-end: bounded admission queue, worker pool,
+//! backpressure and per-query deadlines.
+//!
+//! [`serve_mixed`](crate::serve_mixed) and
+//! [`serve_sharded`](crate::serve_sharded) drive *scripted* workloads — a
+//! fixed query list drained as fast as the readers can go. A real service
+//! faces the opposite shape: requests arrive on their own clock, pile up
+//! when they outrun capacity, and become worthless once they are too old.
+//! The [`Frontend`] models exactly that:
+//!
+//! * **Bounded queue** — submissions go through a fixed-capacity MPMC
+//!   channel ([`crossbeam::channel`]). [`try_submit`](Frontend::try_submit)
+//!   never blocks: a full queue is an immediate
+//!   [`SubmitError::Overloaded`], the backpressure signal callers shed load
+//!   with. [`submit_timeout`](Frontend::submit_timeout) waits a bounded
+//!   time for a slot instead.
+//! * **Worker pool** — N threads each hold one warm
+//!   [`QueryWorkspace`] and, per request, acquire a *fresh* epoch /
+//!   consistent-cut snapshot from the backing store (a read lock plus an
+//!   `Arc` clone — see [`SnapshotSource`]), so every answer reflects the
+//!   newest published graph at service time and remains replayable: the
+//!   response records the epoch it was answered from, and re-running
+//!   [`SimPush::query_seeded`] on that epoch's graph reproduces it bit for
+//!   bit (`tests/integration_serve.rs`).
+//! * **Deadlines** — a request whose deadline has passed by the time a
+//!   worker dequeues it is **dropped, not answered**: the caller gets
+//!   [`QueryOutcome::DeadlineMissed`] and the miss is counted in
+//!   [`FrontendStats`]. Expired work is the first thing an overloaded
+//!   service must stop paying for.
+//!
+//! Shutdown drains: [`shutdown`](Frontend::shutdown) (or dropping the
+//! front-end) closes the queue, lets the workers finish every accepted
+//! request — each ticket resolves exactly once, to an answer or a miss —
+//! and joins them.
+//!
+//! ```
+//! use simpush::{Config, Frontend, FrontendOptions, QueryOutcome, SimPush};
+//! use simrank_graph::{gen, GraphStore};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(GraphStore::new(gen::gnm(100, 400, 1)));
+//! let engine = SimPush::new(Config::new(0.05));
+//! let frontend = Frontend::start(&engine, store, FrontendOptions::default());
+//! let ticket = frontend.try_submit(7).expect("queue has space");
+//! match ticket.wait() {
+//!     QueryOutcome::Answered(r) => {
+//!         assert_eq!(r.node, 7);
+//!         assert_eq!(r.epoch, 0); // nothing was published yet
+//!     }
+//!     other => unreachable!("no deadline set, workers healthy: {other:?}"),
+//! }
+//! frontend.shutdown();
+//! ```
+
+use crate::query::SimPush;
+use crate::workspace::QueryWorkspace;
+use crossbeam::channel::{self, TrySendError};
+use simrank_common::NodeId;
+use simrank_graph::{
+    GraphSnapshot, GraphStore, GraphView, Partitioner, ShardedSnapshot, ShardedStore,
+};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A store the front-end workers can acquire immutable graph snapshots
+/// from, tagged with a replayable version number.
+///
+/// Implemented for [`GraphStore`] (the tag is the **epoch**) and
+/// [`ShardedStore`] (the tag is the **consistent-cut** number), so one
+/// front-end drives either backend. `acquire` must be cheap and
+/// non-blocking with respect to writers — both implementations are a read
+/// lock plus an `Arc` clone — because the workers call it once per
+/// request to pick up the freshest published graph.
+pub trait SnapshotSource: Send + Sync + 'static {
+    /// The immutable snapshot type queries run against.
+    type View: GraphView;
+
+    /// Acquires the current snapshot and its version tag (epoch or cut).
+    fn acquire(&self) -> (Arc<Self::View>, u64);
+}
+
+impl SnapshotSource for GraphStore {
+    type View = GraphSnapshot;
+
+    fn acquire(&self) -> (Arc<GraphSnapshot>, u64) {
+        let snap = self.snapshot();
+        let epoch = snap.epoch();
+        (snap, epoch)
+    }
+}
+
+impl<P: Partitioner + Clone + Send + Sync + 'static> SnapshotSource for ShardedStore<P> {
+    type View = ShardedSnapshot<P>;
+
+    fn acquire(&self) -> (Arc<ShardedSnapshot<P>>, u64) {
+        let snap = self.snapshot();
+        let cut = snap.cut();
+        (snap, cut)
+    }
+}
+
+/// Knobs for [`Frontend::start`].
+#[derive(Debug, Clone)]
+pub struct FrontendOptions {
+    /// Query worker threads (≥ 1), each holding one warm workspace.
+    pub workers: usize,
+    /// Admission-queue capacity (≥ 1): requests buffered beyond the ones
+    /// being served. When full, [`Frontend::try_submit`] rejects with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to every request submitted without an explicit
+    /// one; `None` means requests never expire.
+    pub default_deadline: Option<Duration>,
+    /// How many top-scoring nodes each answer keeps.
+    pub top_k: usize,
+    /// Fault-injection knob: extra service delay a worker sleeps per
+    /// request *after* the deadline check. Zero (the default) in any real
+    /// deployment; tests use it to age the queue deterministically and the
+    /// saturation bench to model slow backends.
+    pub synthetic_service_delay: Duration,
+}
+
+impl Default for FrontendOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 1024,
+            default_deadline: None,
+            top_k: 1,
+            synthetic_service_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full — shed load or retry later. This is the
+    /// backpressure signal; it costs one failed `try_send`, no allocation,
+    /// no worker time.
+    Overloaded,
+    /// The front-end has shut down; no request can be accepted.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "admission queue full (overloaded)"),
+            SubmitError::ShutDown => write!(f, "front-end has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A successfully served request.
+#[derive(Debug, Clone)]
+pub struct FrontendResponse {
+    /// The query node.
+    pub node: NodeId,
+    /// Epoch (single store) or consistent cut (sharded store) the answer
+    /// was computed on — the replay handle: rebuilding this version's
+    /// graph and re-running [`SimPush::query_seeded`] reproduces `top`
+    /// bit for bit.
+    pub epoch: u64,
+    /// Time the request spent queued before a worker dequeued it.
+    pub queue_wait: Duration,
+    /// Time the worker spent answering (snapshot acquisition + query).
+    pub service: Duration,
+    /// Top-`k` similar nodes (per [`FrontendOptions::top_k`]).
+    pub top: Vec<(NodeId, f64)>,
+}
+
+/// Terminal state of an accepted request: exactly one of these per ticket.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The request was served; the response carries the replayable answer.
+    Answered(FrontendResponse),
+    /// The request's deadline had already passed when a worker dequeued
+    /// it; it was dropped without being answered (and never will be).
+    DeadlineMissed {
+        /// The query node that expired.
+        node: NodeId,
+        /// How long the request sat in the queue before being dropped.
+        queue_wait: Duration,
+    },
+    /// The worker serving this request died (panicked) before producing
+    /// an answer. The request was not answered and never will be; the
+    /// panic itself surfaces from [`Frontend::shutdown`]'s join. Exists
+    /// so [`Ticket::wait`] can never hang on a worker failure.
+    Failed {
+        /// The query node whose service failed.
+        node: NodeId,
+    },
+}
+
+/// One-shot completion slot a worker fills exactly once.
+#[derive(Debug)]
+struct Slot {
+    outcome: Mutex<Option<QueryOutcome>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, outcome: QueryOutcome) {
+        let filled = self.fill_if_empty(outcome);
+        assert!(
+            filled,
+            "frontend bug: a request resolved twice (answered after a miss, or vice versa)"
+        );
+    }
+
+    /// Fills the slot unless it already resolved; returns whether this
+    /// call was the one that resolved it. The tolerant path exists for
+    /// the [`Request`] drop guard, which runs after a normal resolve too.
+    fn fill_if_empty(&self, outcome: QueryOutcome) -> bool {
+        let mut guard = self.outcome.lock().unwrap_or_else(|p| p.into_inner());
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(outcome);
+        drop(guard);
+        self.done.notify_all();
+        true
+    }
+}
+
+/// Handle to one accepted request; resolves to exactly one
+/// [`QueryOutcome`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves (answered, deadline-missed, or
+    /// failed).
+    ///
+    /// Never hangs: shutdown drains the queue so every accepted request
+    /// resolves before the workers exit, and a request abandoned by a
+    /// panicking worker resolves to [`QueryOutcome::Failed`] via the
+    /// request's drop guard.
+    pub fn wait(self) -> QueryOutcome {
+        let mut guard = self.slot.outcome.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            // Clone rather than take: a resolved slot stays resolved, so
+            // the request's drop guard can never mistake a consumed slot
+            // for an unresolved one.
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self
+                .slot
+                .done
+                .wait(guard)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// True once the request has resolved ([`wait`](Self::wait) would
+    /// return immediately).
+    pub fn is_done(&self) -> bool {
+        self.slot
+            .outcome
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
+    }
+}
+
+struct Request {
+    node: NodeId,
+    submitted_at: Instant,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
+}
+
+impl Drop for Request {
+    /// The no-hang backstop: if this request is dropped without having
+    /// been resolved — a worker panicked between dequeue and fill, or the
+    /// request never reached the queue — the ticket resolves to
+    /// [`QueryOutcome::Failed`] instead of leaving a waiter blocked
+    /// forever. After a normal resolve this is a no-op.
+    fn drop(&mut self) {
+        self.slot
+            .fill_if_empty(QueryOutcome::Failed { node: self.node });
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    answered: AtomicU64,
+    deadline_misses: AtomicU64,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+}
+
+/// A point-in-time view of the front-end's admission/service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Requests accepted into the queue (each resolves exactly once).
+    pub accepted: u64,
+    /// Submissions rejected with [`SubmitError::Overloaded`].
+    pub rejected: u64,
+    /// Requests answered.
+    pub answered: u64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub deadline_misses: u64,
+    /// Requests currently queued (racy gauge).
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth since start. Measured at
+    /// submission time, and a worker's dequeue decrements the gauge just
+    /// after the queue slot actually frees — so under saturation this
+    /// reads ≈ the configured capacity, and may exceed it by up to the
+    /// number of concurrently in-flight submitters (it is a gauge of
+    /// admission pressure, not an exact buffer-occupancy bound).
+    pub max_queue_depth: usize,
+}
+
+/// The serving front-end: admission queue + worker pool over a
+/// [`SnapshotSource`]. See the [module docs](self) for the full model.
+pub struct Frontend {
+    tx: Option<channel::Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+    default_deadline: Option<Duration>,
+    num_nodes: usize,
+}
+
+impl std::fmt::Debug for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontend")
+            .field("workers", &self.workers.len())
+            .field("default_deadline", &self.default_deadline)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Frontend {
+    /// Starts `opts.workers` query threads over `source` and returns the
+    /// handle submissions go through.
+    ///
+    /// The engine's configuration is copied into every worker; per-request
+    /// seeds are derived exactly like [`SimPush::query_seeded`], so
+    /// front-end answers are bit-identical to direct seeded queries on the
+    /// same snapshot, whatever worker served them.
+    ///
+    /// # Panics
+    /// Panics if `opts.workers` or `opts.queue_capacity` is 0.
+    pub fn start<S: SnapshotSource>(
+        engine: &SimPush,
+        source: Arc<S>,
+        opts: FrontendOptions,
+    ) -> Self {
+        assert!(opts.workers >= 1, "need at least one worker thread");
+        assert!(
+            opts.queue_capacity >= 1,
+            "admission queue capacity must be ≥ 1"
+        );
+        let (tx, rx) = channel::bounded::<Request>(opts.queue_capacity);
+        let counters = Arc::new(Counters::default());
+        let num_nodes = source.acquire().0.num_nodes();
+        let mut workers = Vec::with_capacity(opts.workers);
+        for _ in 0..opts.workers {
+            let rx = rx.clone();
+            let source = source.clone();
+            let engine = engine.clone();
+            let counters = counters.clone();
+            let top_k = opts.top_k;
+            let delay = opts.synthetic_service_delay;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&rx, &*source, &engine, &counters, top_k, delay);
+            }));
+        }
+        Self {
+            tx: Some(tx),
+            workers,
+            counters,
+            default_deadline: opts.default_deadline,
+            num_nodes,
+        }
+    }
+
+    fn admit(&self, node: NodeId, deadline: Option<Duration>) -> Request {
+        assert!(
+            (node as usize) < self.num_nodes,
+            "query node {node} out of range for graph with {} nodes",
+            self.num_nodes
+        );
+        let submitted_at = Instant::now();
+        Request {
+            node,
+            submitted_at,
+            deadline: deadline.or(self.default_deadline).map(|d| submitted_at + d),
+            slot: Arc::new(Slot {
+                outcome: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The depth gauge must rise *before* the request becomes visible to
+    /// a worker (whose dequeue decrements it) — incrementing after a
+    /// successful send would race a fast worker into underflow. A failed
+    /// send takes the increment back. Returns the depth at increment time
+    /// so the high-water mark can be recorded on *accepted* sends only
+    /// (a rejected probe must not inflate it).
+    fn gauge_up(&self) -> usize {
+        self.counters.queue_depth.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn on_accept(&self, slot: &Arc<Slot>, depth: usize) -> Ticket {
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        Ticket { slot: slot.clone() }
+    }
+
+    fn on_reject(&self) -> SubmitError {
+        self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        SubmitError::Overloaded
+    }
+
+    /// Submits a query without blocking, applying the default deadline.
+    ///
+    /// A full queue returns [`SubmitError::Overloaded`] immediately — the
+    /// caller sheds the request (and typically counts it rejected) instead
+    /// of queueing unbounded work.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range for the backing store's graph.
+    pub fn try_submit(&self, node: NodeId) -> Result<Ticket, SubmitError> {
+        self.try_submit_with_deadline(node, None)
+    }
+
+    /// [`try_submit`](Self::try_submit) with a per-request deadline
+    /// override (`None` falls back to
+    /// [`default_deadline`](FrontendOptions::default_deadline)).
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range for the backing store's graph.
+    pub fn try_submit_with_deadline(
+        &self,
+        node: NodeId,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let request = self.admit(node, deadline);
+        let slot = request.slot.clone();
+        let tx = self.tx.as_ref().expect("sender lives until shutdown");
+        let depth = self.gauge_up();
+        match tx.try_send(request) {
+            Ok(()) => Ok(self.on_accept(&slot, depth)),
+            Err(TrySendError::Full(_)) => Err(self.on_reject()),
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::ShutDown)
+            }
+        }
+    }
+
+    /// Submits a query, blocking up to `timeout` for queue space — the
+    /// cooperative client that would rather wait briefly than be rejected.
+    /// Timing out still counts as a rejection in [`FrontendStats`].
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range for the backing store's graph.
+    pub fn submit_timeout(&self, node: NodeId, timeout: Duration) -> Result<Ticket, SubmitError> {
+        let request = self.admit(node, None);
+        let slot = request.slot.clone();
+        let tx = self.tx.as_ref().expect("sender lives until shutdown");
+        let depth = self.gauge_up();
+        match tx.send_timeout(request, timeout) {
+            Ok(()) => Ok(self.on_accept(&slot, depth)),
+            Err(channel::SendTimeoutError::Timeout(_)) => Err(self.on_reject()),
+            Err(channel::SendTimeoutError::Disconnected(_)) => {
+                self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::ShutDown)
+            }
+        }
+    }
+
+    /// Requests currently queued (racy gauge; exact only at quiescence).
+    pub fn queue_depth(&self) -> usize {
+        self.counters.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the admission/service counters.
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            answered: self.counters.answered.load(Ordering::Relaxed),
+            deadline_misses: self.counters.deadline_misses.load(Ordering::Relaxed),
+            queue_depth: self.counters.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.counters.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue (every accepted request
+    /// resolves — answered or deadline-missed), joins the workers and
+    /// returns the final stats.
+    pub fn shutdown(mut self) -> FrontendStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Dropping the only sender disconnects the channel; workers drain
+        // what is buffered, then their `recv` errors out and they exit.
+        drop(self.tx.take());
+        let mut worker_panicked = false;
+        for handle in self.workers.drain(..) {
+            worker_panicked |= handle.join().is_err();
+        }
+        // Surface a worker panic — but never from inside an unwind (a
+        // panic-in-drop while already panicking aborts the process, and
+        // the original panic is the interesting one anyway). Any request
+        // the dead worker abandoned has already resolved to
+        // `QueryOutcome::Failed` via its drop guard.
+        if worker_panicked && !std::thread::panicking() {
+            panic!("frontend worker panicked");
+        }
+    }
+}
+
+impl Drop for Frontend {
+    /// Same contract as [`shutdown`](Self::shutdown): drain, then join.
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop<S: SnapshotSource + ?Sized>(
+    rx: &channel::Receiver<Request>,
+    source: &S,
+    engine: &SimPush,
+    counters: &Counters,
+    top_k: usize,
+    synthetic_delay: Duration,
+) {
+    let mut ws = QueryWorkspace::new();
+    while let Ok(request) = rx.recv() {
+        counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let dequeued_at = Instant::now();
+        let queue_wait = dequeued_at.duration_since(request.submitted_at);
+        if let Some(deadline) = request.deadline {
+            if dequeued_at > deadline {
+                counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                request.slot.fill(QueryOutcome::DeadlineMissed {
+                    node: request.node,
+                    queue_wait,
+                });
+                continue;
+            }
+        }
+        if !synthetic_delay.is_zero() {
+            std::thread::sleep(synthetic_delay);
+        }
+        let service_start = Instant::now();
+        let (snap, epoch) = source.acquire();
+        let result = engine.query_seeded_with(&*snap, request.node, &mut ws);
+        let service = service_start.elapsed();
+        counters.answered.fetch_add(1, Ordering::Relaxed);
+        request.slot.fill(QueryOutcome::Answered(FrontendResponse {
+            node: request.node,
+            epoch,
+            queue_wait,
+            service,
+            top: result.top_k(top_k),
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use simrank_graph::{gen, GraphUpdate, HashPartitioner};
+
+    fn options(workers: usize, cap: usize) -> FrontendOptions {
+        FrontendOptions {
+            workers,
+            queue_capacity: cap,
+            ..FrontendOptions::default()
+        }
+    }
+
+    #[test]
+    fn answers_match_direct_seeded_queries_on_a_quiescent_store() {
+        let store = Arc::new(GraphStore::new(gen::gnm(150, 700, 5)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store.clone(),
+            FrontendOptions {
+                top_k: 3,
+                ..options(3, 64)
+            },
+        );
+        let queries: Vec<NodeId> = (0..20).map(|i| (i * 17) % 150).collect();
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|&u| frontend.try_submit(u).expect("queue has space"))
+            .collect();
+        let snap = store.snapshot();
+        for (ticket, &u) in tickets.into_iter().zip(&queries) {
+            match ticket.wait() {
+                QueryOutcome::Answered(r) => {
+                    assert_eq!(r.node, u);
+                    assert_eq!(r.epoch, 0);
+                    let solo = engine.query_seeded(&*snap, u);
+                    assert_eq!(r.top, solo.top_k(3), "u={u}");
+                }
+                other => panic!("no deadline set, expected an answer: {other:?}"),
+            }
+        }
+        let stats = frontend.shutdown();
+        assert_eq!(stats.accepted, 20);
+        assert_eq!(stats.answered, 20);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.deadline_misses, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn sharded_source_reports_cuts_and_matches_direct_queries() {
+        let base = gen::gnm(120, 500, 9);
+        let store = Arc::new(ShardedStore::new(&base, HashPartitioner::new(3)));
+        store.commit(&[GraphUpdate::Insert(0, 119), GraphUpdate::Insert(1, 118)]);
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store.clone(), options(2, 16));
+        let ticket = frontend.try_submit(42).unwrap();
+        match ticket.wait() {
+            QueryOutcome::Answered(r) => {
+                assert_eq!(r.epoch, 1, "one commit ⇒ cut 1");
+                let solo = engine.query_seeded(&*store.snapshot(), 42);
+                assert_eq!(r.top, solo.top_k(1));
+            }
+            other => panic!("no deadline set, expected an answer: {other:?}"),
+        }
+        frontend.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_and_counts_it() {
+        // One worker stuck on a long synthetic delay; capacity 2. The
+        // first request occupies the worker, two more fill the queue, the
+        // fourth must bounce.
+        let store = Arc::new(GraphStore::new(gen::gnm(50, 200, 1)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store,
+            FrontendOptions {
+                synthetic_service_delay: Duration::from_millis(100),
+                ..options(1, 2)
+            },
+        );
+        let mut tickets = vec![frontend.try_submit(0).unwrap()];
+        // Wait until the worker has dequeued the first request, so queue
+        // occupancy is deterministic.
+        let t = Instant::now();
+        while frontend.queue_depth() > 0 {
+            assert!(t.elapsed() < Duration::from_secs(5), "worker never started");
+            std::thread::yield_now();
+        }
+        tickets.push(frontend.try_submit(1).unwrap());
+        tickets.push(frontend.try_submit(2).unwrap());
+        assert!(matches!(
+            frontend.try_submit(3),
+            Err(SubmitError::Overloaded)
+        ));
+        let stats = frontend.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.max_queue_depth, 2);
+        for ticket in tickets {
+            assert!(matches!(ticket.wait(), QueryOutcome::Answered(_)));
+        }
+        frontend.shutdown();
+    }
+
+    #[test]
+    fn delayed_worker_turns_queued_requests_into_deadline_misses() {
+        // The deterministic deadline scenario: a single worker is held for
+        // 60 ms per request (synthetic delay), every request carries a
+        // 15 ms deadline. The first request is dequeued immediately (wait
+        // ≈ 0 < 15 ms) and answered; the two behind it age ≥ 60 ms in the
+        // queue, so both are dropped at dequeue — recorded as misses,
+        // never answered, each ticket resolving exactly once (Slot::fill
+        // panics the worker on a double resolve, which shutdown's join
+        // would surface).
+        let store = Arc::new(GraphStore::new(gen::gnm(60, 240, 2)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store,
+            FrontendOptions {
+                default_deadline: Some(Duration::from_millis(15)),
+                synthetic_service_delay: Duration::from_millis(60),
+                ..options(1, 8)
+            },
+        );
+        let first = frontend.try_submit(1).unwrap();
+        let t = Instant::now();
+        while frontend.queue_depth() > 0 {
+            assert!(t.elapsed() < Duration::from_secs(5), "worker never started");
+            std::thread::yield_now();
+        }
+        let second = frontend.try_submit(2).unwrap();
+        let third = frontend.try_submit(3).unwrap();
+
+        assert!(matches!(first.wait(), QueryOutcome::Answered(_)));
+        for (ticket, node) in [(second, 2), (third, 3)] {
+            match ticket.wait() {
+                QueryOutcome::DeadlineMissed {
+                    node: missed,
+                    queue_wait,
+                } => {
+                    assert_eq!(missed, node);
+                    assert!(
+                        queue_wait >= Duration::from_millis(15),
+                        "missed before its deadline: {queue_wait:?}"
+                    );
+                }
+                other => panic!("request {node} should have expired, got {other:?}"),
+            }
+        }
+        let stats = frontend.shutdown();
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.deadline_misses, 2);
+        assert_eq!(stats.accepted, 3);
+    }
+
+    #[test]
+    fn worker_panic_resolves_the_ticket_as_failed_and_surfaces_at_shutdown() {
+        // A source whose snapshot acquisition panics after the probe call
+        // Frontend::start makes — so the single worker dies mid-request.
+        // The no-hang contract: the ticket must still resolve (Failed),
+        // and the panic must surface from shutdown's join rather than
+        // hanging or aborting.
+        struct ExplodingSource {
+            inner: GraphStore,
+            calls: AtomicU64,
+        }
+        impl SnapshotSource for ExplodingSource {
+            type View = GraphSnapshot;
+            fn acquire(&self) -> (Arc<GraphSnapshot>, u64) {
+                if self.calls.fetch_add(1, Ordering::Relaxed) > 0 {
+                    panic!("injected snapshot failure");
+                }
+                self.inner.acquire()
+            }
+        }
+        let source = Arc::new(ExplodingSource {
+            inner: GraphStore::new(gen::gnm(30, 120, 1)),
+            calls: AtomicU64::new(0),
+        });
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, source, options(1, 4));
+        let ticket = frontend.try_submit(5).unwrap();
+        match ticket.wait() {
+            QueryOutcome::Failed { node } => assert_eq!(node, 5),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            frontend.shutdown();
+        }));
+        assert!(caught.is_err(), "shutdown must surface the worker panic");
+    }
+
+    #[test]
+    fn shutdown_drains_every_accepted_request() {
+        let store = Arc::new(GraphStore::new(gen::gnm(80, 320, 4)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store, options(2, 64));
+        let tickets: Vec<Ticket> = (0..30u32)
+            .map(|i| frontend.try_submit(i % 80).unwrap())
+            .collect();
+        // Shut down immediately — most requests are still queued; all of
+        // them must still resolve.
+        let stats = frontend.shutdown();
+        assert_eq!(stats.accepted, 30);
+        assert_eq!(stats.answered + stats.deadline_misses, 30);
+        assert_eq!(stats.queue_depth, 0);
+        for ticket in tickets {
+            assert!(ticket.is_done(), "shutdown left a ticket unresolved");
+            assert!(matches!(ticket.wait(), QueryOutcome::Answered(_)));
+        }
+    }
+
+    #[test]
+    fn submit_timeout_waits_for_a_slot() {
+        let store = Arc::new(GraphStore::new(gen::gnm(40, 160, 3)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store,
+            FrontendOptions {
+                synthetic_service_delay: Duration::from_millis(20),
+                ..options(1, 1)
+            },
+        );
+        // Saturate: one in service, one queued.
+        let a = frontend.try_submit(0).unwrap();
+        let t = Instant::now();
+        while frontend.queue_depth() > 0 {
+            assert!(t.elapsed() < Duration::from_secs(5), "worker never started");
+            std::thread::yield_now();
+        }
+        let b = frontend.try_submit(1).unwrap();
+        assert!(matches!(
+            frontend.try_submit(2),
+            Err(SubmitError::Overloaded)
+        ));
+        // A blocking submit outlasts the ~20 ms the worker needs to free a
+        // slot.
+        let c = frontend.submit_timeout(3, Duration::from_secs(5)).unwrap();
+        for ticket in [a, b, c] {
+            assert!(matches!(ticket.wait(), QueryOutcome::Answered(_)));
+        }
+        frontend.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_nodes_at_submission() {
+        let store = Arc::new(GraphStore::new(gen::gnm(10, 30, 1)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store, options(1, 4));
+        let _ = frontend.try_submit(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let store = Arc::new(GraphStore::new(gen::gnm(10, 30, 1)));
+        let engine = SimPush::new(Config::new(0.05));
+        Frontend::start(&engine, store, options(0, 4));
+    }
+}

@@ -61,11 +61,21 @@
 //! [`serve_sharded`] scales the writer side across the K shards of a
 //! [`ShardedStore`](simrank_graph::ShardedStore), with barrier-consistent
 //! composite cuts and the same bit-identity guarantee.
+//!
+//! # Serving front-end (admission control)
+//!
+//! The scripted serving loops drain a fixed query list; the [`Frontend`]
+//! models real arrival traffic instead: a bounded admission queue with
+//! non-blocking backpressure ([`Frontend::try_submit`] returns
+//! [`SubmitError::Overloaded`] when full), a worker pool answering on
+//! per-request fresh snapshots, and per-query deadlines whose expirations
+//! are dropped at dequeue and counted — see the [`frontend`] module docs.
 
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod config;
+pub mod frontend;
 pub mod gamma;
 pub mod hitting;
 pub mod query;
@@ -76,6 +86,10 @@ pub mod source_push;
 pub mod workspace;
 
 pub use config::{Config, LevelDetection, McBudget};
+pub use frontend::{
+    Frontend, FrontendOptions, FrontendResponse, FrontendStats, QueryOutcome, SnapshotSource,
+    SubmitError, Ticket,
+};
 pub use query::{QueryResult, QueryStats, SimPush};
 pub use serve::{
     serve_mixed, serve_sharded, QueryRecord, ServeOptions, ServeReport, ShardUpdateRecord,

@@ -22,6 +22,7 @@
 
 use crate::query::SimPush;
 use crate::workspace::QueryWorkspace;
+use simrank_common::stats::duration_percentile;
 use simrank_common::NodeId;
 use simrank_graph::{GraphStore, GraphUpdate, Partitioner, ShardedStore};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -109,25 +110,22 @@ fn mean(durations: impl Iterator<Item = Duration>) -> Duration {
     }
 }
 
-/// Nearest-rank 95th percentile (zero on an empty iterator).
-fn p95(durations: impl Iterator<Item = Duration>) -> Duration {
-    let mut lats: Vec<Duration> = durations.collect();
-    if lats.is_empty() {
-        return Duration::ZERO;
-    }
-    lats.sort_unstable();
-    lats[(lats.len() - 1) * 95 / 100]
-}
-
 impl ServeReport {
     /// Mean query latency (zero if no queries ran).
     pub fn avg_query_latency(&self) -> Duration {
         mean(self.queries.iter().map(|q| q.latency))
     }
 
-    /// 95th-percentile query latency (zero if no queries ran).
+    /// 95th-percentile query latency (zero if no queries ran; nearest-rank
+    /// via [`duration_percentile`]).
     pub fn p95_query_latency(&self) -> Duration {
-        p95(self.queries.iter().map(|q| q.latency))
+        duration_percentile(self.queries.iter().map(|q| q.latency), 95)
+    }
+
+    /// 99th-percentile query latency (zero if no queries ran) — the tail
+    /// figure latency SLOs are written against.
+    pub fn p99_query_latency(&self) -> Duration {
+        duration_percentile(self.queries.iter().map(|q| q.latency), 99)
     }
 
     /// Mean apply+publish latency per update batch (zero if no updates).
@@ -317,9 +315,15 @@ impl ShardedServeReport {
         mean(self.queries.iter().map(|q| q.latency))
     }
 
-    /// 95th-percentile query latency (zero if no queries ran).
+    /// 95th-percentile query latency (zero if no queries ran; nearest-rank
+    /// via [`duration_percentile`]).
     pub fn p95_query_latency(&self) -> Duration {
-        p95(self.queries.iter().map(|q| q.latency))
+        duration_percentile(self.queries.iter().map(|q| q.latency), 95)
+    }
+
+    /// 99th-percentile query latency (zero if no queries ran).
+    pub fn p99_query_latency(&self) -> Duration {
+        duration_percentile(self.queries.iter().map(|q| q.latency), 99)
     }
 
     /// Mean apply+publish latency per shard sub-batch commit.
@@ -542,6 +546,13 @@ mod tests {
         assert_eq!(report.final_epoch, 5);
         assert!(report.avg_query_latency() > Duration::ZERO);
         assert!(report.queries_per_sec() > 0.0);
+        // Percentiles share one nearest-rank definition: p99 can never sit
+        // below p95, and both are actual observed samples.
+        assert!(report.p99_query_latency() >= report.p95_query_latency());
+        assert!(report
+            .queries
+            .iter()
+            .any(|q| q.latency == report.p99_query_latency()));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Deterministic integration tests for the serving entry points
-//! (`serve_mixed`, `serve_sharded`).
+//! (`serve_mixed`, `serve_sharded`, and the `Frontend` admission layer).
 //!
 //! `prop_store` races 4 readers against a writer to stress epoch
 //! consistency; these tests pin the *deterministic* half of the serving
@@ -10,11 +10,19 @@
 //! * every query answer — whatever epoch/cut scheduling happened to give
 //!   it — is bit-identical to a cold [`SimPush::query_seeded`] on a fresh
 //!   CSR rebuild of exactly that epoch/cut's graph, reconstructed by
-//!   replaying the committed update prefix.
+//!   replaying the committed update prefix. The front-end tests extend
+//!   this replay harness through the admission queue: whatever worker
+//!   served a request, and whatever epoch/cut its snapshot happened to
+//!   be, the recorded answer must reproduce from that version's rebuild.
 
-use simpush::{serve_mixed, serve_sharded, Config, ServeOptions, ShardedServeOptions, SimPush};
+use simpush::{
+    serve_mixed, serve_sharded, Config, Frontend, FrontendOptions, QueryOutcome, ServeOptions,
+    ShardedServeOptions, SimPush, Ticket,
+};
 use simrank_eval::mixed::{mixed_workload, sharded_workload};
 use simrank_suite::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Replays the first `count` updates of `updates` onto `base`.
 fn graph_after(base: &CsrGraph, updates: &[GraphUpdate], count: usize) -> CsrGraph {
@@ -162,6 +170,158 @@ fn sharded_serve_cuts_replay_to_exact_answers() {
             rec.node
         );
     }
+}
+
+#[test]
+fn frontend_answers_replay_bit_identically_on_their_epochs() {
+    // The front-end restatement of the serving contract: a writer thread
+    // commits batches into the store while queries flow through the
+    // bounded queue and worker pool. Whatever epoch each answer happened
+    // to be served on, re-running a cold seeded query on that epoch's
+    // rebuild must reproduce it bit for bit.
+    const BATCH: usize = 8;
+    const TOP_K: usize = 3;
+    let base = simrank_suite::graph::gen::gnm(160, 800, 51);
+    let workload = mixed_workload(&base, 64, 24, 0.3, 77);
+    let store = Arc::new(GraphStore::with_compaction_threshold(base.clone(), 24));
+    let engine = SimPush::new(Config::new(0.05));
+    let frontend = Frontend::start(
+        &engine,
+        store.clone(),
+        FrontendOptions {
+            workers: 3,
+            queue_capacity: 64,
+            default_deadline: None,
+            top_k: TOP_K,
+            synthetic_service_delay: Duration::ZERO,
+        },
+    );
+
+    // Writer: commit every batch with a small pause so queries land on a
+    // spread of epochs, not just 0 and the final one.
+    let writer = {
+        let store = store.clone();
+        let updates = workload.updates.clone();
+        std::thread::spawn(move || {
+            for chunk in updates.chunks(BATCH) {
+                store.commit(chunk);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let tickets: Vec<Ticket> = workload
+        .queries
+        .iter()
+        .map(|&u| {
+            std::thread::sleep(Duration::from_millis(1));
+            frontend
+                .submit_timeout(u, Duration::from_secs(30))
+                .expect("submission failed")
+        })
+        .collect();
+    let outcomes: Vec<QueryOutcome> = tickets.into_iter().map(Ticket::wait).collect();
+    writer.join().expect("writer panicked");
+    let stats = frontend.shutdown();
+    assert_eq!(stats.accepted, workload.queries.len() as u64);
+    assert_eq!(
+        stats.answered,
+        workload.queries.len() as u64,
+        "no deadline ⇒ no misses"
+    );
+
+    // Every answer reproduces from its recorded epoch: epoch e is the
+    // base plus the first e committed batches.
+    for (outcome, &u) in outcomes.iter().zip(&workload.queries) {
+        let QueryOutcome::Answered(r) = outcome else {
+            panic!("request {u} not answered");
+        };
+        assert_eq!(r.node, u);
+        assert!(r.epoch as usize <= workload.updates.len() / BATCH);
+        let g = graph_after(&base, &workload.updates, r.epoch as usize * BATCH);
+        let solo = engine.query_seeded(&g, u);
+        assert_eq!(
+            r.top,
+            solo.top_k(TOP_K),
+            "epoch {} answer for u={} drifted from rebuild",
+            r.epoch,
+            u
+        );
+    }
+    // The writer committed everything: final store state == full replay.
+    assert_eq!(store.snapshot().to_csr(), workload.final_graph(&base));
+}
+
+#[test]
+fn frontend_on_a_sharded_store_replays_cuts_identically() {
+    // Same contract through the ShardedStore source: the response's
+    // `epoch` field carries the consistent-cut number, and cut c is
+    // exactly the first c global batches.
+    const BATCH: usize = 16;
+    const SHARDS: usize = 3;
+    let n = 150;
+    let base = simrank_suite::graph::gen::clustered_copying_web(n, SHARDS, 4, 0.7, 0.05, 23);
+    let partitioner = RangePartitioner::new(n, SHARDS);
+    let workload = sharded_workload(&base, &partitioner, 64, 16, 0.25, 0.2, 31);
+    let store = Arc::new(ShardedStore::with_compaction_threshold(
+        &base,
+        partitioner,
+        12,
+    ));
+    let engine = SimPush::new(Config::new(0.05));
+    let frontend = Frontend::start(
+        &engine,
+        store.clone(),
+        FrontendOptions {
+            workers: 2,
+            queue_capacity: 32,
+            default_deadline: None,
+            top_k: 2,
+            synthetic_service_delay: Duration::ZERO,
+        },
+    );
+    let writer = {
+        let store = store.clone();
+        let updates = workload.updates.clone();
+        std::thread::spawn(move || {
+            for chunk in updates.chunks(BATCH) {
+                store.commit(chunk); // sequential consistent cut per batch
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let outcomes: Vec<QueryOutcome> = workload
+        .queries
+        .iter()
+        .map(|&u| {
+            std::thread::sleep(Duration::from_millis(1));
+            frontend
+                .submit_timeout(u, Duration::from_secs(30))
+                .expect("submission failed")
+                .wait()
+        })
+        .collect();
+    writer.join().expect("writer panicked");
+    frontend.shutdown();
+
+    for (outcome, &u) in outcomes.iter().zip(&workload.queries) {
+        let QueryOutcome::Answered(r) = outcome else {
+            panic!("request {u} not answered");
+        };
+        assert!(
+            r.epoch as usize <= workload.updates.len() / BATCH,
+            "cut from the future"
+        );
+        let g = graph_after(&base, &workload.updates, r.epoch as usize * BATCH);
+        let solo = engine.query_seeded(&g, u);
+        assert_eq!(
+            r.top,
+            solo.top_k(2),
+            "cut {} answer for u={} drifted from rebuild",
+            r.epoch,
+            u
+        );
+    }
+    assert_eq!(store.snapshot().to_csr(), workload.final_graph(&base));
 }
 
 #[test]

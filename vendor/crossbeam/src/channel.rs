@@ -1,0 +1,500 @@
+//! Bounded multi-producer multi-consumer FIFO channel — the slice of
+//! [`crossbeam-channel`] the workspace's serving front-end uses, hand-rolled
+//! on `Mutex` + `Condvar` (the build environment has no crates.io access).
+//!
+//! Semantics mirror the real crate where the APIs overlap:
+//!
+//! * **Bounded**: [`bounded`] creates a channel with a fixed capacity; a
+//!   full channel makes [`Sender::try_send`] fail *immediately* with
+//!   [`TrySendError::Full`] — the backpressure signal an admission layer
+//!   turns into an `Overloaded` rejection — while
+//!   [`Sender::send_timeout`] blocks for bounded time waiting for space.
+//! * **MPMC**: both [`Sender`] and [`Receiver`] are `Clone`; any number of
+//!   threads may send and receive concurrently. Messages are delivered in
+//!   FIFO order (single-consumer observes exactly the send order; with
+//!   several consumers each message is delivered exactly once).
+//! * **Disconnect drains**: when every `Sender` is dropped, receivers keep
+//!   draining buffered messages and only then see
+//!   [`RecvError`]/[`TryRecvError::Disconnected`] — so a worker pool shuts
+//!   down by finishing the queue, never by dropping accepted work. When
+//!   every `Receiver` is dropped, sends fail with `Disconnected`,
+//!   returning the undeliverable message to the caller.
+//!
+//! ```
+//! use crossbeam::channel::{bounded, TrySendError};
+//!
+//! let (tx, rx) = bounded::<u32>(2);
+//! tx.try_send(1).unwrap();
+//! tx.try_send(2).unwrap();
+//! assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+//! drop(tx); // receivers drain the two buffered messages, then disconnect
+//! assert_eq!(rx.recv(), Ok(1));
+//! assert_eq!(rx.recv(), Ok(2));
+//! assert!(rx.recv().is_err());
+//! ```
+//!
+//! [`crossbeam-channel`]: https://crates.io/crates/crossbeam-channel
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::try_send`]; carries the undelivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel buffer is at capacity right now.
+    Full(T),
+    /// Every [`Receiver`] has been dropped; the message can never arrive.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// The message that could not be delivered.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+        }
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the undelivered
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// No space opened up within the timeout.
+    Timeout(T),
+    /// Every [`Receiver`] has been dropped; the message can never arrive.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// The message that could not be delivered.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: every sender is gone **and** the
+/// buffer is empty (disconnect never discards buffered messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The buffer is empty right now (senders still connected).
+    Empty,
+    /// Every sender is gone and the buffer is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout (senders still connected).
+    Timeout,
+    /// Every sender is gone and the buffer is drained.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a message is pushed or the last sender disconnects.
+    not_empty: Condvar,
+    /// Signalled when a message is popped or the last receiver disconnects.
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // Poisoning can only come from a panic in a Condvar wait wrapper
+        // below, which never leaves the queue torn — safe to continue.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The sending half of a [`bounded`] channel. Cloneable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a [`bounded`] channel. Cloneable (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded FIFO channel holding at most `cap` in-flight messages.
+///
+/// # Panics
+/// Panics if `cap` is 0 (rendezvous channels are not provided; an
+/// admission queue needs at least one slot to measure pressure against).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "bounded channel capacity must be ≥ 1");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(cap),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Attempts to enqueue `value` without blocking.
+    ///
+    /// Returns [`TrySendError::Full`] when the buffer is at capacity — the
+    /// non-blocking backpressure probe — and
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.lock();
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if inner.queue.len() >= self.shared.cap {
+            return Err(TrySendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `value`, blocking up to `timeout` for space to open.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if inner.queue.len() < self.shared.cap {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Messages currently buffered (a racy snapshot — by the time the
+    /// caller acts on it the depth may have changed; fine for gauges).
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when no messages are buffered (same raciness as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this channel was created with.
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake every blocked receiver so it can observe the disconnect
+            // (after draining whatever is still buffered).
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the oldest message, blocking until one arrives or every
+    /// sender disconnects **and** the buffer is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Dequeues the oldest message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.lock();
+        if let Some(value) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Dequeues the oldest message, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Messages currently buffered (racy snapshot, see [`Sender::len`]).
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this channel was created with.
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        let last = inner.receivers == 0;
+        drop(inner);
+        if last {
+            // Wake every blocked sender so it can observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let (tx, rx) = bounded::<u8>(3);
+        for i in 0..3 {
+            tx.try_send(i).unwrap();
+        }
+        let t = Instant::now();
+        assert_eq!(tx.try_send(9), Err(TrySendError::Full(9)));
+        assert!(t.elapsed() < Duration::from_millis(50), "try_send blocked");
+        assert_eq!(tx.len(), 3);
+        // Space opens as soon as one message is consumed.
+        assert_eq!(rx.recv(), Ok(0));
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.len(), 3);
+    }
+
+    #[test]
+    fn single_consumer_sees_fifo_order() {
+        let (tx, rx) = bounded::<u32>(64);
+        for i in 0..50 {
+            tx.try_send(i).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn dropping_all_senders_drains_then_disconnects() {
+        let (tx, rx) = bounded::<u32>(8);
+        let tx2 = tx.clone();
+        tx.try_send(1).unwrap();
+        tx2.try_send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        // Buffered messages survive the disconnect…
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        // …and only the drained channel reports it.
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn dropping_all_receivers_fails_sends_with_the_message() {
+        let (tx, rx) = bounded::<String>(2);
+        drop(rx);
+        assert_eq!(
+            tx.try_send("a".into()),
+            Err(TrySendError::Disconnected("a".into()))
+        );
+        assert_eq!(
+            tx.send_timeout("b".into(), Duration::from_millis(5)),
+            Err(SendTimeoutError::Disconnected("b".into()))
+        );
+    }
+
+    #[test]
+    fn send_timeout_blocks_until_space_or_deadline() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.try_send(0).unwrap();
+        // Deadline path: nobody consumes, the send must time out with its
+        // message intact.
+        let t = Instant::now();
+        assert_eq!(
+            tx.send_timeout(1, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(1))
+        );
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        // Space path: a consumer frees a slot while the sender waits.
+        crate::scope(|scope| {
+            let rx = &rx;
+            scope.spawn(move |_| {
+                std::thread::sleep(Duration::from_millis(10));
+                assert_eq!(rx.recv(), Ok(0));
+            });
+            tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        })
+        .unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.try_send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 200;
+        let (tx, rx) = bounded::<usize>(8);
+        let received: Vec<usize> = crate::scope(|scope| {
+            let mut producers = Vec::new();
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                producers.push(scope.spawn(move |_| {
+                    for i in 0..PER_PRODUCER {
+                        tx.send_timeout(p * PER_PRODUCER + i, Duration::from_secs(10))
+                            .unwrap();
+                    }
+                }));
+            }
+            drop(tx); // scope's copies keep the channel alive until done
+            let mut consumers = Vec::new();
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                consumers.push(scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        mine.push(v);
+                    }
+                    mine
+                }));
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect()
+        })
+        .unwrap();
+        let mut sorted = received;
+        sorted.sort_unstable();
+        let expected: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(sorted, expected, "lost or duplicated messages");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be")]
+    fn zero_capacity_is_rejected() {
+        bounded::<u8>(0);
+    }
+}

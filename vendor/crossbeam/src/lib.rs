@@ -1,11 +1,19 @@
 //! Vendored, dependency-free stand-in for the [`crossbeam`] crate's scoped
-//! threads, backed by [`std::thread::scope`] (stable since Rust 1.63).
+//! threads and bounded channels.
 //!
-//! The build environment for this workspace has no access to crates.io.
-//! The workspace only uses `crossbeam::scope(|s| { s.spawn(|_| …) })`, so
-//! that is all this shim provides: the same call shape, with spawn closures
-//! receiving a `&Scope` argument (conventionally ignored as `|_|`) and
-//! handles joined through the std [`ScopedJoinHandle`].
+//! The build environment for this workspace has no access to crates.io, so
+//! exactly the slice the workspace uses is provided:
+//!
+//! * [`scope`] — `crossbeam::scope(|s| { s.spawn(|_| …) })`, backed by
+//!   [`std::thread::scope`] (stable since Rust 1.63): the same call shape,
+//!   with spawn closures receiving a `&Scope` argument (conventionally
+//!   ignored as `|_|`) and handles joined through the std
+//!   [`ScopedJoinHandle`].
+//! * [`channel`] — a bounded MPMC FIFO channel (`channel::bounded`) with
+//!   non-blocking `try_send` backpressure, timed `send_timeout` /
+//!   `recv_timeout`, and drain-then-disconnect shutdown semantics,
+//!   hand-rolled on `Mutex` + `Condvar`. This is the queue under the
+//!   serving front-end's admission layer.
 //!
 //! ```
 //! let total: usize = crossbeam::scope(|scope| {
@@ -21,6 +29,8 @@
 //! [`crossbeam`]: https://crates.io/crates/crossbeam
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 use std::thread::ScopedJoinHandle;
 
