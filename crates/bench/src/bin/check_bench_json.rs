@@ -86,6 +86,18 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "calibration.capacity_qps",
             "sweep",
         ]),
+        "scenario_serve" => Some(&[
+            "smoke",
+            "epsilon",
+            "options.workers",
+            "options.queue_capacity",
+            "options.requests_per_scenario",
+            "options.updates_per_batch",
+            "calibration.requests",
+            "calibration.mean_service_ns",
+            "calibration.capacity_qps",
+            "scenarios",
+        ]),
         _ => None,
     }
 }
@@ -122,6 +134,54 @@ const FRONTEND_SWEEP_KEYS: &[&str] = &[
     "avg_queue_wait_ns",
     "max_queue_depth",
     "wall_ns",
+];
+
+/// Keys every `scenarios` element of a `scenario_serve` snapshot must
+/// carry — one named workload scenario each. Knobs that don't apply to a
+/// scenario are emitted as 0, so the set is uniform across the array.
+const SCENARIO_KEYS: &[&str] = &[
+    "name",
+    "about",
+    "key_dist",
+    "zipf_exponent",
+    "hot_set_size",
+    "arrival",
+    "load_factor",
+    "burstiness",
+    "clients",
+    "updates_per_query",
+    "requests",
+    "updates",
+    "offered_qps",
+    "accepted",
+    "rejected",
+    "answered",
+    "deadline_misses",
+    "throughput_qps",
+    "reject_rate",
+    "deadline_miss_rate",
+    "p50_latency_ns",
+    "p95_latency_ns",
+    "p99_latency_ns",
+    "avg_queue_wait_ns",
+    "max_queue_depth",
+    "final_epoch",
+    "wall_ns",
+    "slo.max_reject_rate",
+    "slo.max_deadline_miss_rate",
+    "slo_met",
+];
+
+/// The named scenarios every `scenario_serve` snapshot must report — the
+/// workload matrix is only a regression surface if no scenario can
+/// silently drop out of it.
+const REQUIRED_SCENARIOS: &[&str] = &[
+    "read_heavy",
+    "update_heavy",
+    "zipf_hot",
+    "bursty",
+    "batch_scan",
+    "hot_flood",
 ];
 
 /// Range assertions for `dynamic_serve` snapshots.
@@ -174,6 +234,89 @@ const FRONTEND_BOUNDS: &[Bound] = &[
 /// deadline machinery is broken.
 const FRONTEND_SMOKE_BOUNDS: &[Bound] = &[Bound::at_most("sweep[*].deadline_miss_rate", 0.5)];
 
+/// Range assertions for `scenario_serve` snapshots, applied to the whole
+/// document (every-scenario invariants use the `[*]` wildcard).
+const SCENARIO_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::at_least("options.workers", 1.0),
+    Bound::at_least("options.queue_capacity", 1.0),
+    Bound::at_least("calibration.mean_service_ns", 1.0),
+    Bound::at_least("calibration.capacity_qps", 0.1),
+    Bound::between("scenarios[*].reject_rate", 0.0, 1.0),
+    Bound::between("scenarios[*].deadline_miss_rate", 0.0, 1.0),
+    Bound::at_least("scenarios[*].requests", 1.0),
+    Bound::at_least("scenarios[*].updates", 1.0),
+    Bound::at_least("scenarios[*].throughput_qps", 0.1),
+    Bound::at_least("scenarios[*].answered", 1.0),
+    Bound::at_least("scenarios[*].p99_latency_ns", 1.0),
+    Bound::at_least("scenarios[*].final_epoch", 1.0),
+    Bound::between("scenarios[*].slo.max_reject_rate", 0.0, 1.0),
+    Bound::between("scenarios[*].slo.max_deadline_miss_rate", 0.0, 1.0),
+];
+
+/// Same rationale as [`FRONTEND_SMOKE_BOUNDS`]: the scenario deadlines are
+/// generous vs. worst-case queueing, so overload must surface as cheap
+/// rejection, never as a majority of accepted-then-expired requests.
+const SCENARIO_SMOKE_BOUNDS: &[Bound] = &[Bound::at_most("scenarios[*].deadline_miss_rate", 0.5)];
+
+/// Per-scenario-name range assertions, applied **element-relative** to the
+/// matching `scenarios[]` entry. These pin both the workload *knobs* (so a
+/// scenario can't be quietly de-fanged — `hot_flood` must stay offered
+/// past capacity, `bursty` must keep a high burst knob, `zipf_hot` must
+/// stay skewed) and conservative *outcome* ranges per shape (a closed-loop
+/// scan can never reject; below-knee open loops must shed almost nothing).
+const SCENARIO_NAMED_BOUNDS: &[(&str, &[Bound])] = &[
+    (
+        "read_heavy",
+        &[
+            Bound::at_most("updates_per_query", 0.1),
+            Bound::between("load_factor", 0.3, 0.99),
+            Bound::at_most("reject_rate", 0.25),
+            Bound::at_most("deadline_miss_rate", 0.1),
+        ],
+    ),
+    (
+        "update_heavy",
+        &[
+            Bound::at_least("updates_per_query", 1.0),
+            Bound::between("load_factor", 0.2, 0.99),
+            Bound::at_most("reject_rate", 0.25),
+        ],
+    ),
+    (
+        "zipf_hot",
+        &[
+            Bound::at_least("zipf_exponent", 1.0),
+            Bound::between("load_factor", 0.3, 0.99),
+            Bound::at_most("reject_rate", 0.25),
+        ],
+    ),
+    (
+        "bursty",
+        &[
+            Bound::at_least("burstiness", 0.5),
+            Bound::between("load_factor", 0.5, 1.0),
+            Bound::at_most("reject_rate", 0.6),
+        ],
+    ),
+    (
+        "batch_scan",
+        &[
+            Bound::at_least("clients", 2.0),
+            Bound::between("reject_rate", 0.0, 0.0),
+            Bound::between("deadline_miss_rate", 0.0, 0.0),
+        ],
+    ),
+    (
+        "hot_flood",
+        &[
+            Bound::at_least("load_factor", 1.2),
+            Bound::at_least("hot_set_size", 1.0),
+            Bound::at_most("reject_rate", 0.95),
+        ],
+    ),
+];
+
 /// Range assertions applied to every snapshot of a family. Each doubles
 /// as a presence check (a path resolving to nothing is a violation).
 fn family_bounds(bench: &str) -> &'static [Bound] {
@@ -182,6 +325,7 @@ fn family_bounds(bench: &str) -> &'static [Bound] {
         "sharded_serve" => SHARDED_BOUNDS,
         "warm_query" => WARM_BOUNDS,
         "frontend_serve" => FRONTEND_BOUNDS,
+        "scenario_serve" => SCENARIO_BOUNDS,
         _ => &[],
     }
 }
@@ -191,8 +335,54 @@ fn family_bounds(bench: &str) -> &'static [Bound] {
 fn smoke_bounds(bench: &str) -> &'static [Bound] {
     match bench {
         "frontend_serve" => FRONTEND_SMOKE_BOUNDS,
+        "scenario_serve" => SCENARIO_SMOKE_BOUNDS,
         _ => &[],
     }
+}
+
+/// Validates a `scenario_serve` snapshot's `scenarios` array: per-element
+/// schema, presence of every [`REQUIRED_SCENARIOS`] name exactly once, and
+/// the element-relative [`SCENARIO_NAMED_BOUNDS`] ranges.
+fn check_scenarios(path: &str, doc: &Json) -> Result<(), String> {
+    let scenarios = doc
+        .path("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: \"scenarios\" must be an array"))?;
+    let mut names: Vec<&str> = Vec::with_capacity(scenarios.len());
+    for (i, entry) in scenarios.iter().enumerate() {
+        let missing = json::missing_paths(entry, SCENARIO_KEYS);
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: scenarios[{i}] missing required keys {missing:?}"
+            ));
+        }
+        let name = entry
+            .path("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: scenarios[{i}].name must be a string"))?;
+        names.push(name);
+        if let Some((_, bounds)) = SCENARIO_NAMED_BOUNDS.iter().find(|(n, _)| *n == name) {
+            let violations = json::check_bounds(entry, bounds);
+            if !violations.is_empty() {
+                return Err(format!(
+                    "{path}: scenario \"{name}\" range violations:\n  {}",
+                    violations.join("\n  ")
+                ));
+            }
+        }
+    }
+    for required in REQUIRED_SCENARIOS {
+        match names.iter().filter(|n| *n == required).count() {
+            1 => {}
+            0 => return Err(format!("{path}: scenario \"{required}\" is missing")),
+            k => {
+                return Err(format!(
+                    "{path}: scenario \"{required}\" appears {k} times (must be unique)"
+                ))
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Designated higher-is-better throughput metrics for `--compare`.
@@ -208,6 +398,7 @@ fn throughput_metrics(bench: &str) -> Option<&'static [&'static str]> {
         ]),
         "sharded_serve" => Some(&["sweep[*].queries_per_sec"]),
         "frontend_serve" => Some(&["calibration.capacity_qps"]),
+        "scenario_serve" => Some(&["calibration.capacity_qps", "scenarios[*].throughput_qps"]),
         _ => None,
     }
 }
@@ -271,6 +462,9 @@ fn check_file(path: &str) -> Result<String, String> {
                 ));
             }
         }
+    }
+    if bench == "scenario_serve" {
+        check_scenarios(path, &doc)?;
     }
 
     // Range assertions: schema-valid but numerically nonsense fails too.

@@ -223,9 +223,11 @@ fn run_point(
         } else {
             stats.answered as f64 / wall.as_secs_f64()
         },
-        p50: duration_percentile(latencies.iter().copied(), 50),
-        p95: duration_percentile(latencies.iter().copied(), 95),
-        p99: duration_percentile(latencies.iter().copied(), 99),
+        // An all-rejected point has no latency sample; 0 ns in the sweep
+        // row is fine here because reject_rate = 1.0 sits next to it.
+        p50: duration_percentile(latencies.iter().copied(), 50).unwrap_or_default(),
+        p95: duration_percentile(latencies.iter().copied(), 95).unwrap_or_default(),
+        p99: duration_percentile(latencies.iter().copied(), 99).unwrap_or_default(),
         avg_queue_wait,
         max_queue_depth: stats.max_queue_depth,
         wall,

@@ -2,31 +2,44 @@
 //! bench emitters.
 //!
 //! Every percentile reported anywhere in the workspace — `p95`/`p99` on
-//! the serve reports, the front-end's offered-load sweep — goes through
-//! [`duration_percentile`], so all of them agree on one definition:
-//! **nearest-rank on the sorted sample**, index `⌊(len − 1) · p / 100⌋`.
-//! That definition never interpolates (the returned value is always an
-//! observed sample) and pins ties deterministically: equal samples sort
-//! stably by value, so the reported percentile of `[1, 2, 2, 2, 9]` is an
-//! actual `2`, not a synthetic average.
+//! the serve reports, the front-end's offered-load sweep, the scenario
+//! matrix — goes through [`duration_percentile`], so all of them agree on
+//! one definition: **nearest-rank on the sorted sample**, index
+//! `⌊(len − 1) · p / 100⌋`. That definition never interpolates (the
+//! returned value is always an observed sample) and pins ties
+//! deterministically: equal samples sort stably by value, so the reported
+//! percentile of `[1, 2, 2, 2, 9]` is an actual `2`, not a synthetic
+//! average.
+//!
+//! An **empty** sample set has no percentile — it returns `None`, never a
+//! fabricated zero. Per-scenario latency slices can legitimately be empty
+//! (a scenario rejected or expired 100 % of its traffic), and a silent
+//! `0 ns` tail latency would read as "infinitely fast" exactly when the
+//! service was at its worst. Callers that want a sentinel value for
+//! display must choose it explicitly.
 
 use std::time::Duration;
 
 /// Nearest-rank percentile of a set of durations; `pct` is in `[0, 100]`.
 ///
-/// Returns [`Duration::ZERO`] on an empty sample set. `pct = 0` is the
-/// minimum and `pct = 100` the maximum.
+/// Returns `None` on an empty sample set — an empty slice has no
+/// percentile, and defaulting to zero would report a service that
+/// answered nothing as one with a perfect tail. `pct = 0` is the minimum
+/// and `pct = 100` the maximum.
 ///
 /// # Panics
 /// Panics if `pct > 100`.
-pub fn duration_percentile(samples: impl IntoIterator<Item = Duration>, pct: u8) -> Duration {
+pub fn duration_percentile(
+    samples: impl IntoIterator<Item = Duration>,
+    pct: u8,
+) -> Option<Duration> {
     assert!(pct <= 100, "percentile must be in [0, 100], got {pct}");
     let mut sorted: Vec<Duration> = samples.into_iter().collect();
     if sorted.is_empty() {
-        return Duration::ZERO;
+        return None;
     }
     sorted.sort_unstable();
-    sorted[(sorted.len() - 1) * pct as usize / 100]
+    Some(sorted[(sorted.len() - 1) * pct as usize / 100])
 }
 
 #[cfg(test)]
@@ -38,14 +51,18 @@ mod tests {
     }
 
     #[test]
-    fn empty_sample_is_zero() {
-        assert_eq!(duration_percentile([], 95), Duration::ZERO);
+    fn empty_sample_has_no_percentile() {
+        // The regression pin for the scenario matrix: a 100%-rejected
+        // slice must surface as "no samples", not as a 0 ns tail.
+        for pct in [0, 50, 95, 99, 100] {
+            assert_eq!(duration_percentile([], pct), None);
+        }
     }
 
     #[test]
     fn single_sample_is_every_percentile() {
         for pct in [0, 50, 95, 99, 100] {
-            assert_eq!(duration_percentile([ms(7)], pct), ms(7));
+            assert_eq!(duration_percentile([ms(7)], pct), Some(ms(7)));
         }
     }
 
@@ -54,11 +71,23 @@ mod tests {
         // 10 samples: index (10-1)*p/100 → p95 picks index 8, p99 index 8,
         // p100 index 9, p50 index 4.
         let samples: Vec<Duration> = (1..=10).map(ms).collect();
-        assert_eq!(duration_percentile(samples.iter().copied(), 50), ms(5));
-        assert_eq!(duration_percentile(samples.iter().copied(), 95), ms(9));
-        assert_eq!(duration_percentile(samples.iter().copied(), 99), ms(9));
-        assert_eq!(duration_percentile(samples.iter().copied(), 100), ms(10));
-        assert_eq!(duration_percentile(samples, 0), ms(1));
+        assert_eq!(
+            duration_percentile(samples.iter().copied(), 50),
+            Some(ms(5))
+        );
+        assert_eq!(
+            duration_percentile(samples.iter().copied(), 95),
+            Some(ms(9))
+        );
+        assert_eq!(
+            duration_percentile(samples.iter().copied(), 99),
+            Some(ms(9))
+        );
+        assert_eq!(
+            duration_percentile(samples.iter().copied(), 100),
+            Some(ms(10))
+        );
+        assert_eq!(duration_percentile(samples, 0), Some(ms(1)));
     }
 
     #[test]
@@ -68,12 +97,12 @@ mod tests {
         // input order.
         let a = [ms(9), ms(2), ms(2), ms(1), ms(2)];
         let b = [ms(2), ms(2), ms(9), ms(2), ms(1)];
-        assert_eq!(duration_percentile(a, 50), ms(2));
-        assert_eq!(duration_percentile(b, 50), ms(2));
+        assert_eq!(duration_percentile(a, 50), Some(ms(2)));
+        assert_eq!(duration_percentile(b, 50), Some(ms(2)));
         // All-equal input: every percentile is that value.
         let flat = [ms(4); 17];
         for pct in [0, 50, 95, 99, 100] {
-            assert_eq!(duration_percentile(flat, pct), ms(4));
+            assert_eq!(duration_percentile(flat, pct), Some(ms(4)));
         }
     }
 
@@ -82,7 +111,7 @@ mod tests {
         let samples: Vec<Duration> = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5].map(ms).to_vec();
         let mut last = Duration::ZERO;
         for pct in 0..=100 {
-            let v = duration_percentile(samples.iter().copied(), pct);
+            let v = duration_percentile(samples.iter().copied(), pct).unwrap();
             assert!(v >= last, "p{pct} = {v:?} < previous {last:?}");
             last = v;
         }

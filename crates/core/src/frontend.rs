@@ -492,6 +492,65 @@ impl Frontend {
         self.counters.queue_depth.load(Ordering::Relaxed)
     }
 
+    /// Drives `keys` through the front-end **closed-loop**: `clients`
+    /// threads each submit one request, wait for its outcome, then submit
+    /// the next — the batch/bulk-client shape (and the capacity
+    /// calibration the scenario matrix scales its offered loads from),
+    /// as opposed to the open-loop arrival schedules of
+    /// `simrank_eval::mixed::open_loop_arrivals`.
+    ///
+    /// Client `c` serves keys `c, c + clients, c + 2·clients, …`, so the
+    /// returned vector lines up with `keys` index for index: each entry is
+    /// the request's [`QueryOutcome`], or the [`SubmitError`] if admission
+    /// failed within `submit_timeout` (a closed loop self-throttles, so
+    /// with `clients ≤ queue capacity` and a generous timeout that arm is
+    /// unreachable in practice — but a hung writer or a shut-down
+    /// front-end still surfaces as data instead of a panic).
+    ///
+    /// # Panics
+    /// Panics if `clients` is 0, or if any key is out of range for the
+    /// backing store's graph (same contract as
+    /// [`try_submit`](Self::try_submit)).
+    pub fn run_closed_loop(
+        &self,
+        keys: &[NodeId],
+        clients: usize,
+        submit_timeout: Duration,
+    ) -> Vec<Result<QueryOutcome, SubmitError>> {
+        assert!(clients >= 1, "need at least one closed-loop client");
+        let mut slots: Vec<Option<Result<QueryOutcome, SubmitError>>> = Vec::new();
+        slots.resize_with(keys.len(), || None);
+        std::thread::scope(|scope| {
+            let mut rest = slots.as_mut_slice();
+            let mut offset = 0usize;
+            // Hand each client a strided view by repeatedly splitting off
+            // the smallest remaining index — disjoint &mut slots without
+            // any locking.
+            let mut client_slots: Vec<Vec<(usize, &mut Option<_>)>> =
+                (0..clients).map(|_| Vec::new()).collect();
+            while !rest.is_empty() {
+                let (head, tail) = rest.split_at_mut(1);
+                client_slots[offset % clients].push((offset, &mut head[0]));
+                rest = tail;
+                offset += 1;
+            }
+            for mine in client_slots {
+                scope.spawn(move || {
+                    for (i, slot) in mine {
+                        *slot = Some(match self.submit_timeout(keys[i], submit_timeout) {
+                            Ok(ticket) => Ok(ticket.wait()),
+                            Err(e) => Err(e),
+                        });
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every key was assigned to a client"))
+            .collect()
+    }
+
     /// A snapshot of the admission/service counters.
     pub fn stats(&self) -> FrontendStats {
         FrontendStats {
@@ -828,6 +887,56 @@ mod tests {
             assert!(matches!(ticket.wait(), QueryOutcome::Answered(_)));
         }
         frontend.shutdown();
+    }
+
+    #[test]
+    fn closed_loop_outcomes_line_up_with_keys_and_match_direct_queries() {
+        let store = Arc::new(GraphStore::new(gen::gnm(90, 400, 6)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store.clone(), options(2, 8));
+        let keys: Vec<NodeId> = (0..25).map(|i| (i * 13) % 90).collect();
+        let outcomes = frontend.run_closed_loop(&keys, 3, Duration::from_secs(30));
+        assert_eq!(outcomes.len(), keys.len());
+        let snap = store.snapshot();
+        for (outcome, &u) in outcomes.iter().zip(&keys) {
+            match outcome {
+                Ok(QueryOutcome::Answered(r)) => {
+                    assert_eq!(r.node, u, "outcome order drifted from key order");
+                    let solo = engine.query_seeded(&*snap, u);
+                    assert_eq!(r.top, solo.top_k(1), "u={u}");
+                }
+                other => panic!("quiescent store, no deadline: {other:?}"),
+            }
+        }
+        let stats = frontend.shutdown();
+        assert_eq!(stats.accepted, 25);
+        assert_eq!(stats.answered, 25);
+        assert_eq!(stats.rejected, 0, "a closed loop never overruns the queue");
+    }
+
+    #[test]
+    fn closed_loop_with_more_clients_than_keys_still_covers_everything() {
+        let store = Arc::new(GraphStore::new(gen::gnm(20, 80, 2)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store, options(2, 16));
+        let outcomes = frontend.run_closed_loop(&[3, 7], 8, Duration::from_secs(30));
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Ok(QueryOutcome::Answered(_)))));
+        assert!(frontend
+            .run_closed_loop(&[], 4, Duration::from_secs(1))
+            .is_empty());
+        frontend.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one closed-loop client")]
+    fn closed_loop_rejects_zero_clients() {
+        let store = Arc::new(GraphStore::new(gen::gnm(10, 30, 1)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store, options(1, 4));
+        frontend.run_closed_loop(&[1], 0, Duration::from_secs(1));
     }
 
     #[test]

@@ -119,13 +119,13 @@ impl ServeReport {
     /// 95th-percentile query latency (zero if no queries ran; nearest-rank
     /// via [`duration_percentile`]).
     pub fn p95_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 95)
+        duration_percentile(self.queries.iter().map(|q| q.latency), 95).unwrap_or_default()
     }
 
     /// 99th-percentile query latency (zero if no queries ran) — the tail
     /// figure latency SLOs are written against.
     pub fn p99_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 99)
+        duration_percentile(self.queries.iter().map(|q| q.latency), 99).unwrap_or_default()
     }
 
     /// Mean apply+publish latency per update batch (zero if no updates).
@@ -318,12 +318,12 @@ impl ShardedServeReport {
     /// 95th-percentile query latency (zero if no queries ran; nearest-rank
     /// via [`duration_percentile`]).
     pub fn p95_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 95)
+        duration_percentile(self.queries.iter().map(|q| q.latency), 95).unwrap_or_default()
     }
 
     /// 99th-percentile query latency (zero if no queries ran).
     pub fn p99_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 99)
+        duration_percentile(self.queries.iter().map(|q| q.latency), 99).unwrap_or_default()
     }
 
     /// Mean apply+publish latency per shard sub-batch commit.

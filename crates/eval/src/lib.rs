@@ -12,6 +12,10 @@
 //!   grids, behind one factory interface.
 //! * [`mixed`] — deterministic mixed update/query workload generation for
 //!   the dynamic serving scenario (`GraphStore` + `serve_mixed`).
+//! * [`zipf`] — deterministic seeded Zipf key sampling for skewed
+//!   workloads.
+//! * [`scenario`] — the named workload-scenario matrix (`read_heavy`,
+//!   `zipf_hot`, `hot_flood`, …) driven through the real `Frontend`.
 //! * [`runner`] — per-dataset experiment driver: builds indexes, times
 //!   queries, spills score vectors, pools ground truth, computes metrics,
 //!   applies the paper's resource-exclusion rules.
@@ -27,8 +31,15 @@ pub mod metrics;
 pub mod mixed;
 pub mod report;
 pub mod runner;
+pub mod scenario;
+pub mod zipf;
 
 pub use datasets::{registry, DatasetSpec};
 pub use methods::{method_grid, MethodFamily, MethodSetting};
 pub use mixed::{mixed_workload, MixedWorkload};
 pub use runner::{run_dataset, ExperimentConfig, MethodResult};
+pub use scenario::{
+    calibrate, catalog, run_scenario, ArrivalShape, Calibration, KeyDist, Scenario, ScenarioReport,
+    ScenarioScale, SloTarget,
+};
+pub use zipf::{ZipfDistribution, ZipfKeys};

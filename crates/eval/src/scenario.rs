@@ -1,0 +1,803 @@
+//! Named workload scenarios: the regression-tested traffic surface of the
+//! serving stack.
+//!
+//! The offered-load sweep (`frontend_serve`) maps *how much* traffic the
+//! front-end survives; this module fixes *what shape* that traffic has. A
+//! [`Scenario`] is a declarative description — traffic mix, key
+//! distribution, arrival shape, SLO targets — and [`run_scenario`] drives
+//! it through the **real** [`Frontend`] (bounded admission queue, worker
+//! pool, deadlines, a live update writer), never a bespoke loop, so every
+//! number a scenario reports is a number the production admission path
+//! produced.
+//!
+//! The [`catalog`] is the YCSB-style matrix the roadmap calls for, six
+//! named scenarios every later optimization must hold up against:
+//!
+//! | scenario | models |
+//! |---|---|
+//! | `read_heavy` | interactive browsing: almost-pure queries, smooth arrivals |
+//! | `update_heavy` | ingest-dominated operation: ~2 graph updates per query |
+//! | `zipf_hot` | power-law key skew: a few nodes absorb most queries |
+//! | `bursty` | diurnal/thundering-herd arrivals at constant mean rate |
+//! | `batch_scan` | closed-loop bulk clients scanning the key space |
+//! | `hot_flood` | adversarial repeated floods of the highest-degree nodes, offered past capacity |
+//!
+//! Rates are expressed as **multiples of calibrated capacity**
+//! ([`calibrate`]: a closed-loop run through the same front-end), so
+//! "0.7× load" means the same thing on a laptop and a CI runner, and the
+//! saturation knee sits at 1.0 by construction. Every scenario is
+//! seed-deterministic end to end: same `(graph, scenario, scale, seed)` →
+//! the same update stream, the same key sequence and the same arrival
+//! schedule, byte for byte. Answers stay replayable: each one records the
+//! epoch it was served from, and `tests/integration_serve.rs` pins that a
+//! cold rebuild of that epoch reproduces it bit for bit.
+
+use crate::mixed::{mixed_workload, open_loop_arrivals, MixedWorkload};
+use crate::zipf::ZipfKeys;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simpush::{Frontend, FrontendOptions, QueryOutcome, SimPush, Ticket};
+use simrank_common::stats::duration_percentile;
+use simrank_common::NodeId;
+use simrank_graph::{CsrGraph, GraphStore, GraphUpdate, GraphView};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a scenario picks query keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the node universe — the no-skew baseline.
+    Uniform,
+    /// Zipf-distributed hotness with the given exponent (rank 0 hottest),
+    /// ranks scrambled across the id space — see [`crate::zipf`].
+    Zipf {
+        /// Skew exponent (`1.2` ≈ strongly skewed web traffic).
+        exponent: f64,
+    },
+    /// Round-robin over the `size` highest **in-degree** nodes — the
+    /// adversarial shape: repeated queries against the most expensive
+    /// neighborhoods in the graph.
+    HotSet {
+        /// How many top-degree nodes the flood cycles through.
+        size: usize,
+    },
+    /// Sequential wrap-around over node ids — the scan/bulk-export shape.
+    Scan,
+}
+
+impl KeyDist {
+    /// Short stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipf { .. } => "zipf",
+            KeyDist::HotSet { .. } => "hot_set",
+            KeyDist::Scan => "scan",
+        }
+    }
+}
+
+/// How a scenario's requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalShape {
+    /// Open-loop arrivals (requests never wait for the server) at
+    /// `load_factor ×` calibrated capacity, with the
+    /// [`open_loop_arrivals`] burstiness knob.
+    OpenLoop {
+        /// Offered rate as a multiple of calibrated capacity (1.0 = the
+        /// saturation knee).
+        load_factor: f64,
+        /// Fraction of arrivals that land coincident with their
+        /// predecessor (mean rate preserved) — see [`open_loop_arrivals`].
+        burstiness: f64,
+    },
+    /// Closed-loop clients: each submits, waits for the answer, then
+    /// submits the next ([`Frontend::run_closed_loop`]). Self-throttling —
+    /// the bulk/batch shape.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+    },
+}
+
+impl ArrivalShape {
+    /// Short stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalShape::OpenLoop { .. } => "open_loop",
+            ArrivalShape::ClosedLoop { .. } => "closed_loop",
+        }
+    }
+}
+
+/// Per-scenario service-level objective, evaluated on the report.
+///
+/// Targets are part of the scenario *description*: they state what
+/// "healthy" means for that traffic shape (a flood is healthy when it
+/// sheds load cheaply; a read-heavy workload is healthy only when almost
+/// nothing is shed). The bench emitter records both the targets and the
+/// verdict so regressions in CI are interpretable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloTarget {
+    /// Highest acceptable fraction of submissions rejected at admission.
+    pub max_reject_rate: f64,
+    /// Highest acceptable fraction of accepted requests expiring in queue.
+    pub max_deadline_miss_rate: f64,
+}
+
+/// A named, declarative workload scenario. Build them via [`catalog`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable snake_case name (JSON key, CI range lookup).
+    pub name: &'static str,
+    /// One-line description of what the scenario models.
+    pub about: &'static str,
+    /// Query-key distribution.
+    pub keys: KeyDist,
+    /// Arrival process.
+    pub arrivals: ArrivalShape,
+    /// Graph updates committed per query request (traffic mix knob): the
+    /// writer paces `requests × updates_per_query` effective updates
+    /// across the scenario's expected duration.
+    pub updates_per_query: f64,
+    /// Fraction of those updates that are removals.
+    pub remove_fraction: f64,
+    /// What "healthy" means for this scenario.
+    pub slo: SloTarget,
+}
+
+/// The named-scenario catalog: the six workload shapes the serving stack
+/// is regression-gated on. Names are stable — CI range tables and the
+/// committed `BENCH_scenarios.json` key on them.
+pub fn catalog() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "read_heavy",
+            about: "interactive browsing: almost-pure uniform queries below the knee",
+            keys: KeyDist::Uniform,
+            arrivals: ArrivalShape::OpenLoop {
+                load_factor: 0.7,
+                burstiness: 0.05,
+            },
+            updates_per_query: 0.02,
+            remove_fraction: 0.3,
+            slo: SloTarget {
+                max_reject_rate: 0.05,
+                max_deadline_miss_rate: 0.01,
+            },
+        },
+        Scenario {
+            name: "update_heavy",
+            about: "ingest-dominated: ~2 committed graph updates per query",
+            keys: KeyDist::Uniform,
+            arrivals: ArrivalShape::OpenLoop {
+                load_factor: 0.5,
+                burstiness: 0.05,
+            },
+            updates_per_query: 2.0,
+            remove_fraction: 0.3,
+            slo: SloTarget {
+                max_reject_rate: 0.05,
+                max_deadline_miss_rate: 0.01,
+            },
+        },
+        Scenario {
+            name: "zipf_hot",
+            about: "power-law key skew: a handful of nodes absorb most queries",
+            keys: KeyDist::Zipf { exponent: 1.2 },
+            // Skew shifts the knee: the hot keys are not average-cost
+            // keys, so the same nominal load sits closer to saturation
+            // than a uniform mix would. Offered load and the reject
+            // target both acknowledge that.
+            arrivals: ArrivalShape::OpenLoop {
+                load_factor: 0.6,
+                burstiness: 0.1,
+            },
+            updates_per_query: 0.1,
+            remove_fraction: 0.3,
+            slo: SloTarget {
+                max_reject_rate: 0.15,
+                max_deadline_miss_rate: 0.01,
+            },
+        },
+        Scenario {
+            name: "bursty",
+            about: "diurnal/thundering-herd arrivals at constant mean rate",
+            keys: KeyDist::Uniform,
+            arrivals: ArrivalShape::OpenLoop {
+                load_factor: 0.9,
+                burstiness: 0.7,
+            },
+            updates_per_query: 0.1,
+            remove_fraction: 0.3,
+            slo: SloTarget {
+                max_reject_rate: 0.35,
+                max_deadline_miss_rate: 0.05,
+            },
+        },
+        Scenario {
+            name: "batch_scan",
+            about: "closed-loop bulk clients scanning the key space in id order",
+            keys: KeyDist::Scan,
+            arrivals: ArrivalShape::ClosedLoop { clients: 4 },
+            updates_per_query: 0.05,
+            remove_fraction: 0.3,
+            slo: SloTarget {
+                max_reject_rate: 0.0,
+                max_deadline_miss_rate: 0.0,
+            },
+        },
+        Scenario {
+            name: "hot_flood",
+            about: "adversarial flood of the highest in-degree nodes at 1.6x capacity",
+            keys: KeyDist::HotSet { size: 4 },
+            arrivals: ArrivalShape::OpenLoop {
+                load_factor: 1.6,
+                burstiness: 0.3,
+            },
+            updates_per_query: 0.1,
+            remove_fraction: 0.3,
+            slo: SloTarget {
+                max_reject_rate: 0.9,
+                max_deadline_miss_rate: 0.1,
+            },
+        },
+    ]
+}
+
+/// Size knobs shared by every scenario in one run — the bench bin's
+/// `--smoke` flag swaps one of these for a smaller one.
+#[derive(Debug, Clone)]
+pub struct ScenarioScale {
+    /// Requests per scenario (open-loop arrival count / closed-loop total).
+    pub requests: usize,
+    /// Floor on the update-stream length (so even `read_heavy` exercises
+    /// the writer at least one batch's worth).
+    pub min_updates: usize,
+    /// Cap on the update-stream length (bounds `update_heavy` generation).
+    pub max_updates: usize,
+    /// Updates per committed batch (one epoch per batch).
+    pub updates_per_batch: usize,
+    /// Front-end worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// `GraphStore` compaction threshold.
+    pub compaction_threshold: usize,
+    /// Requests in the closed-loop calibration run.
+    pub calib_requests: usize,
+    /// Concurrent clients in the calibration run.
+    pub calib_clients: usize,
+    /// Open-loop deadline = `mean service × queue_capacity × this factor`
+    /// — generous vs. worst-case queueing, so below the knee nothing
+    /// expires and overload is *rejected*, not accepted-then-dropped.
+    pub deadline_queue_factor: u32,
+    /// Top-k size each answer keeps.
+    pub top_k: usize,
+}
+
+/// Measured service capacity the scenario load factors scale from.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Closed-loop achieved throughput through the front-end.
+    pub capacity_qps: f64,
+    /// Mean per-request service time (snapshot acquisition + query).
+    pub mean_service: Duration,
+    /// Requests the calibration run answered.
+    pub requests: usize,
+}
+
+/// Calibrates service capacity: a closed-loop run of uniform-key queries
+/// through a fresh [`Frontend`] on a quiescent store ([`Frontend::run_closed_loop`]
+/// keeps the pipeline full, so the achieved rate *is* the capacity).
+///
+/// # Panics
+/// Panics if calibration traffic is rejected or unanswered (impossible on
+/// a healthy quiescent front-end) or if `scale.calib_requests` is 0.
+pub fn calibrate(
+    engine: &SimPush,
+    base: &CsrGraph,
+    scale: &ScenarioScale,
+    seed: u64,
+) -> Calibration {
+    assert!(scale.calib_requests > 0, "calibration needs requests");
+    let n = base.num_nodes();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let keys: Vec<NodeId> = (0..scale.calib_requests)
+        .map(|_| rng.gen_range(0..n) as NodeId)
+        .collect();
+    let store = Arc::new(GraphStore::new(base.clone()));
+    let frontend = Frontend::start(
+        engine,
+        store,
+        FrontendOptions {
+            workers: scale.workers,
+            queue_capacity: scale.queue_capacity,
+            default_deadline: None,
+            top_k: scale.top_k,
+            synthetic_service_delay: Duration::ZERO,
+        },
+    );
+    let start = Instant::now();
+    let outcomes = frontend.run_closed_loop(&keys, scale.calib_clients, Duration::from_secs(60));
+    let wall = start.elapsed();
+    frontend.shutdown();
+    let mut service_total = Duration::ZERO;
+    for outcome in &outcomes {
+        match outcome {
+            Ok(QueryOutcome::Answered(r)) => service_total += r.service,
+            other => panic!("calibration request not answered: {other:?}"),
+        }
+    }
+    Calibration {
+        capacity_qps: scale.calib_requests as f64 / wall.as_secs_f64(),
+        mean_service: service_total / scale.calib_requests as u32,
+        requests: scale.calib_requests,
+    }
+}
+
+/// One answered request, recorded for replay: rebuilding epoch `epoch`'s
+/// graph and re-running the seeded query on `node` must reproduce `top`
+/// bit for bit.
+#[derive(Debug, Clone)]
+pub struct AnswerRecord {
+    /// The query node.
+    pub node: NodeId,
+    /// Epoch the answer was computed on (`e` = base + first `e` committed
+    /// update batches).
+    pub epoch: u64,
+    /// The recorded top-k answer.
+    pub top: Vec<(NodeId, f64)>,
+}
+
+/// Everything one scenario run produced: SLO metrics plus the replayable
+/// answer records and the exact update stream that was committed.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's stable name.
+    pub name: &'static str,
+    /// Requests driven at the front-end (accepted + rejected).
+    pub requests: usize,
+    /// Planned offered rate (open loop; `0.0` for closed loop, which has
+    /// no offered rate distinct from its achieved one).
+    pub offered_qps: f64,
+    /// The committed update stream (exactly what the writer applied, in
+    /// order) — the replay handle for [`AnswerRecord`] epochs.
+    pub updates: Vec<GraphUpdate>,
+    /// Updates per committed batch (epoch `e` ⇔ first `e · batch` updates).
+    pub updates_per_batch: usize,
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Submissions rejected at admission (backpressure).
+    pub rejected: u64,
+    /// Requests answered.
+    pub answered: u64,
+    /// Accepted requests that expired in queue.
+    pub deadline_misses: u64,
+    /// Answered requests per wall-clock second.
+    pub throughput_qps: f64,
+    /// Median end-to-end latency (queue wait + service); `None` when
+    /// nothing was answered.
+    pub p50_latency: Option<Duration>,
+    /// 95th-percentile end-to-end latency; `None` when nothing answered.
+    pub p95_latency: Option<Duration>,
+    /// 99th-percentile end-to-end latency; `None` when nothing answered.
+    pub p99_latency: Option<Duration>,
+    /// Mean time requests (answered or expired) sat in the queue.
+    pub avg_queue_wait: Duration,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: usize,
+    /// Epochs published by the end of the run.
+    pub final_epoch: u64,
+    /// Wall clock from first submission to last resolution.
+    pub wall: Duration,
+    /// Replayable records of every answered request, in submission order.
+    pub answers: Vec<AnswerRecord>,
+}
+
+impl ScenarioReport {
+    /// Fraction of submissions rejected at admission.
+    pub fn reject_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / self.requests as f64
+    }
+
+    /// Fraction of *accepted* requests that expired in queue.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.accepted == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.accepted as f64
+    }
+
+    /// Whether the run met `slo` (reject and miss rates both inside their
+    /// targets).
+    pub fn meets(&self, slo: &SloTarget) -> bool {
+        self.reject_rate() <= slo.max_reject_rate
+            && self.deadline_miss_rate() <= slo.max_deadline_miss_rate
+    }
+}
+
+/// The `size` highest in-degree nodes of `g`, ties broken toward smaller
+/// ids — the deterministic hot set [`KeyDist::HotSet`] floods.
+///
+/// # Panics
+/// Panics if `size` is 0 or exceeds the node count.
+pub fn hottest_in_degree_nodes<G: GraphView>(g: &G, size: usize) -> Vec<NodeId> {
+    assert!(size > 0, "hot set must be non-empty");
+    assert!(size <= g.num_nodes(), "hot set larger than the graph");
+    let mut nodes: Vec<NodeId> = g.nodes().collect();
+    nodes.sort_by(|&a, &b| g.in_degree(b).cmp(&g.in_degree(a)).then(a.cmp(&b)));
+    nodes.truncate(size);
+    nodes
+}
+
+/// Materializes the scenario's deterministic key sequence.
+fn key_sequence(scenario: &Scenario, base: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
+    let n = base.num_nodes();
+    match scenario.keys {
+        KeyDist::Uniform => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..count).map(|_| rng.gen_range(0..n) as NodeId).collect()
+        }
+        KeyDist::Zipf { exponent } => ZipfKeys::new(n, exponent, seed).take_keys(count),
+        KeyDist::HotSet { size } => {
+            let hot = hottest_in_degree_nodes(base, size.min(n));
+            (0..count).map(|i| hot[i % hot.len()]).collect()
+        }
+        KeyDist::Scan => (0..count).map(|i| (i % n) as NodeId).collect(),
+    }
+}
+
+/// Runs one scenario through a fresh store + [`Frontend`], with a paced
+/// writer committing the scenario's update stream throughout.
+///
+/// Deterministic inputs: same `(engine config, base, scenario, scale,
+/// calibration-independent seed)` produce the same update stream, key
+/// sequence and (for open loop) arrival schedule. The run asserts that the
+/// final store state equals a sequential replay of the update stream, so a
+/// scenario can never silently diverge from its own workload.
+///
+/// # Panics
+/// Panics on internal serving-contract violations (a worker failure, a
+/// store diverging from replay) — never on SLO misses, which are data.
+pub fn run_scenario(
+    engine: &SimPush,
+    base: &CsrGraph,
+    scenario: &Scenario,
+    scale: &ScenarioScale,
+    calibration: &Calibration,
+    seed: u64,
+) -> ScenarioReport {
+    let requests = scale.requests;
+    let num_updates = ((requests as f64 * scenario.updates_per_query) as usize)
+        .clamp(scale.min_updates, scale.max_updates);
+    let workload: MixedWorkload =
+        mixed_workload(base, num_updates, 0, scenario.remove_fraction, seed);
+    let keys = key_sequence(scenario, base, requests, seed.wrapping_add(1));
+
+    // Expected duration, used only to pace the writer: open loop knows its
+    // schedule span; closed loop is estimated from calibrated capacity.
+    let (arrivals, offered_qps, deadline) = match scenario.arrivals {
+        ArrivalShape::OpenLoop {
+            load_factor,
+            burstiness,
+        } => {
+            let offered = load_factor * calibration.capacity_qps;
+            let mean_gap = Duration::from_secs_f64(1.0 / offered);
+            let schedule = open_loop_arrivals(requests, mean_gap, burstiness, seed.wrapping_add(2));
+            let deadline = calibration.mean_service
+                * scale.deadline_queue_factor
+                * scale.queue_capacity as u32;
+            (Some(schedule), offered, Some(deadline))
+        }
+        ArrivalShape::ClosedLoop { .. } => (None, 0.0, None),
+    };
+    let expected_wall = match &arrivals {
+        Some(schedule) => schedule.last().copied().unwrap_or_default(),
+        None => Duration::from_secs_f64(requests as f64 / calibration.capacity_qps.max(1.0)),
+    };
+
+    let store = Arc::new(GraphStore::with_compaction_threshold(
+        base.clone(),
+        scale.compaction_threshold,
+    ));
+    let frontend = Frontend::start(
+        engine,
+        store.clone(),
+        FrontendOptions {
+            workers: scale.workers,
+            queue_capacity: scale.queue_capacity,
+            default_deadline: deadline,
+            top_k: scale.top_k,
+            synthetic_service_delay: Duration::ZERO,
+        },
+    );
+
+    // Writer: pace the whole update stream across the expected duration so
+    // epochs advance under live traffic (exactly like frontend_serve).
+    let writer = {
+        let store = store.clone();
+        let updates = workload.updates.clone();
+        let batch = scale.updates_per_batch;
+        let num_batches = updates.len().div_ceil(batch).max(1);
+        let pace = expected_wall / num_batches as u32;
+        std::thread::spawn(move || {
+            for chunk in updates.chunks(batch) {
+                store.commit(chunk);
+                std::thread::sleep(pace);
+            }
+        })
+    };
+
+    // Drive the traffic and collect outcomes in submission order.
+    let start = Instant::now();
+    let outcomes: Vec<QueryOutcome> = match scenario.arrivals {
+        ArrivalShape::OpenLoop { .. } => {
+            let schedule = arrivals.expect("open loop has a schedule");
+            let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(requests);
+            for (i, &offset) in schedule.iter().enumerate() {
+                let target = start + offset;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                tickets.push(frontend.try_submit(keys[i]).ok());
+            }
+            tickets.into_iter().flatten().map(Ticket::wait).collect()
+        }
+        ArrivalShape::ClosedLoop { clients } => frontend
+            .run_closed_loop(&keys, clients, Duration::from_secs(60))
+            .into_iter()
+            .map(|r| r.expect("closed-loop admission cannot time out at these scales"))
+            .collect(),
+    };
+    let wall = start.elapsed();
+    writer.join().expect("scenario writer panicked");
+    let stats = frontend.shutdown();
+    assert_eq!(
+        stats.accepted + stats.rejected,
+        requests as u64,
+        "every submission is accepted or rejected"
+    );
+
+    // The store must end exactly where a sequential replay of the stream
+    // ends — a diverged scenario would be benchmarking a different graph.
+    let final_snapshot = store.snapshot();
+    let final_epoch = final_snapshot.epoch();
+    assert_eq!(
+        final_snapshot.to_csr(),
+        workload.final_graph(base),
+        "scenario {}: store diverged from sequential replay",
+        scenario.name
+    );
+
+    let mut latencies = Vec::with_capacity(outcomes.len());
+    let mut queue_waits = Vec::with_capacity(outcomes.len());
+    let mut answers = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            QueryOutcome::Answered(r) => {
+                latencies.push(r.queue_wait + r.service);
+                queue_waits.push(r.queue_wait);
+                answers.push(AnswerRecord {
+                    node: r.node,
+                    epoch: r.epoch,
+                    top: r.top,
+                });
+            }
+            QueryOutcome::DeadlineMissed { queue_wait, .. } => queue_waits.push(queue_wait),
+            QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
+        }
+    }
+    let avg_queue_wait = if queue_waits.is_empty() {
+        Duration::ZERO
+    } else {
+        queue_waits.iter().sum::<Duration>() / queue_waits.len() as u32
+    };
+
+    ScenarioReport {
+        name: scenario.name,
+        requests,
+        offered_qps,
+        updates: workload.updates,
+        updates_per_batch: scale.updates_per_batch,
+        accepted: stats.accepted,
+        rejected: stats.rejected,
+        answered: stats.answered,
+        deadline_misses: stats.deadline_misses,
+        throughput_qps: if wall.is_zero() {
+            0.0
+        } else {
+            stats.answered as f64 / wall.as_secs_f64()
+        },
+        p50_latency: duration_percentile(latencies.iter().copied(), 50),
+        p95_latency: duration_percentile(latencies.iter().copied(), 95),
+        p99_latency: duration_percentile(latencies.iter().copied(), 99),
+        avg_queue_wait,
+        max_queue_depth: stats.max_queue_depth,
+        final_epoch,
+        wall,
+        answers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpush::Config;
+    use simrank_graph::gen;
+
+    fn tiny_scale() -> ScenarioScale {
+        ScenarioScale {
+            requests: 40,
+            min_updates: 8,
+            max_updates: 64,
+            updates_per_batch: 8,
+            workers: 2,
+            queue_capacity: 16,
+            compaction_threshold: 32,
+            calib_requests: 20,
+            calib_clients: 4,
+            deadline_queue_factor: 4,
+            top_k: 2,
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_cover_the_required_matrix() {
+        let scenarios = catalog();
+        assert!(scenarios.len() >= 6, "the matrix needs at least 6 entries");
+        let names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        for required in [
+            "read_heavy",
+            "update_heavy",
+            "zipf_hot",
+            "bursty",
+            "batch_scan",
+            "hot_flood",
+        ] {
+            assert!(names.contains(&required), "catalog is missing {required}");
+        }
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate scenario names");
+        // Shape sanity: the flood is offered past capacity, the burst knob
+        // is meaningfully high in `bursty`, and `batch_scan` is the one
+        // closed-loop entry.
+        for s in &scenarios {
+            match s.name {
+                "hot_flood" => {
+                    let ArrivalShape::OpenLoop { load_factor, .. } = s.arrivals else {
+                        panic!("hot_flood must be open loop");
+                    };
+                    assert!(load_factor > 1.0, "a flood must exceed capacity");
+                    assert!(matches!(s.keys, KeyDist::HotSet { size } if size >= 1));
+                }
+                "bursty" => {
+                    let ArrivalShape::OpenLoop { burstiness, .. } = s.arrivals else {
+                        panic!("bursty must be open loop");
+                    };
+                    assert!(burstiness >= 0.5, "bursty needs a high burst knob");
+                }
+                "batch_scan" => {
+                    assert!(
+                        matches!(s.arrivals, ArrivalShape::ClosedLoop { clients } if clients >= 2)
+                    );
+                    assert_eq!(s.keys, KeyDist::Scan);
+                }
+                "zipf_hot" => {
+                    assert!(matches!(s.keys, KeyDist::Zipf { exponent } if exponent >= 1.0));
+                }
+                "update_heavy" => assert!(s.updates_per_query >= 1.0),
+                "read_heavy" => assert!(s.updates_per_query <= 0.1),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn hottest_nodes_are_sorted_by_in_degree_with_id_tiebreak() {
+        // Star-ish graph: node 5 has in-degree 3, node 2 has 2, nodes
+        // 0 and 1 have 1 each (tie → smaller id first).
+        let g = simrank_graph::GraphBuilder::new()
+            .with_num_nodes(6)
+            .with_edges([(0, 5), (1, 5), (2, 5), (3, 2), (4, 2), (5, 0), (2, 1)])
+            .build();
+        assert_eq!(hottest_in_degree_nodes(&g, 4), vec![5, 2, 0, 1]);
+    }
+
+    #[test]
+    fn key_sequences_are_deterministic_and_in_range() {
+        let g = gen::gnm(60, 300, 4);
+        for scenario in catalog() {
+            let a = key_sequence(&scenario, &g, 100, 9);
+            let b = key_sequence(&scenario, &g, 100, 9);
+            assert_eq!(a, b, "{}: same seed, same keys", scenario.name);
+            assert_eq!(a.len(), 100);
+            assert!(
+                a.iter().all(|&k| (k as usize) < 60),
+                "{}: key out of range",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn hot_set_keys_cycle_the_top_degree_nodes() {
+        let g = gen::gnm(50, 400, 8);
+        let scenario = Scenario {
+            keys: KeyDist::HotSet { size: 3 },
+            ..catalog()
+                .into_iter()
+                .find(|s| s.name == "hot_flood")
+                .unwrap()
+        };
+        let keys = key_sequence(&scenario, &g, 30, 1);
+        let hot = hottest_in_degree_nodes(&g, 3);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(k, hot[i % 3]);
+        }
+    }
+
+    #[test]
+    fn closed_loop_scenario_runs_deterministic_workload_end_to_end() {
+        let base = gen::gnm(80, 400, 5);
+        let engine = SimPush::new(Config::new(0.05));
+        let scale = tiny_scale();
+        let calibration = calibrate(&engine, &base, &scale, 3);
+        assert!(calibration.capacity_qps > 0.0);
+        assert!(calibration.mean_service > Duration::ZERO);
+
+        let scenario = catalog()
+            .into_iter()
+            .find(|s| s.name == "batch_scan")
+            .unwrap();
+        let report = run_scenario(&engine, &base, &scenario, &scale, &calibration, 11);
+        assert_eq!(report.requests, 40);
+        assert_eq!(report.accepted, 40, "closed loop never rejects");
+        assert_eq!(report.answered, 40);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.answers.len(), 40);
+        assert!(report.meets(&scenario.slo));
+        assert!(report.throughput_qps > 0.0);
+        assert!(report.p99_latency.is_some());
+        assert!(report.p50_latency <= report.p99_latency);
+        // Scan keys: submission order is id order, wrap-around.
+        for (i, rec) in report.answers.iter().enumerate() {
+            assert_eq!(rec.node as usize, i % 80);
+        }
+        // The update stream is the seed-deterministic one.
+        let expected = mixed_workload(&base, 8, 0, scenario.remove_fraction, 11);
+        assert_eq!(report.updates, expected.updates);
+    }
+
+    #[test]
+    fn open_loop_scenario_reports_consistent_counters() {
+        let base = gen::gnm(80, 400, 5);
+        let engine = SimPush::new(Config::new(0.05));
+        let scale = tiny_scale();
+        let calibration = calibrate(&engine, &base, &scale, 3);
+        let scenario = catalog()
+            .into_iter()
+            .find(|s| s.name == "read_heavy")
+            .unwrap();
+        let report = run_scenario(&engine, &base, &scenario, &scale, &calibration, 21);
+        assert_eq!(report.accepted + report.rejected, 40);
+        assert_eq!(
+            report.answered + report.deadline_misses,
+            report.accepted,
+            "every accepted request resolves exactly once"
+        );
+        assert_eq!(report.answers.len(), report.answered as usize);
+        assert!(report.offered_qps > 0.0);
+        assert!((0.0..=1.0).contains(&report.reject_rate()));
+        assert!((0.0..=1.0).contains(&report.deadline_miss_rate()));
+        assert!(
+            report.final_epoch as usize <= report.updates.len().div_ceil(report.updates_per_batch)
+        );
+    }
+}
