@@ -1,0 +1,385 @@
+//! `cached_serve` — paired cached-vs-uncached runs of the cache-friendly
+//! workload scenarios through the serving front-end.
+//!
+//! Where `scenario_serve` measures the raw front-end against the full
+//! workload matrix, this bin measures what the epoch-tagged
+//! [`AnswerCache`](simpush::AnswerCache) buys on the three scenarios
+//! where it matters:
+//!
+//! * `zipf_hot` — power-law key skew offered *above* capacity
+//!   (uncached saturates; the cache turns repeat keys into O(1) hits),
+//! * `hot_flood` — an adversarial flood of the hottest in-degree nodes,
+//! * `update_heavy` — ingest-dominated with an exactness-only cache
+//!   (`max_stale_epochs = 0`), where the interesting number is the
+//!   delta-aware *invalidation* count, not throughput.
+//!
+//! Each pair runs the **same** scenario — same arrival schedule, same key
+//! sequence, same update stream, same seed — once without a cache and
+//! once with one, and emits both sides plus their `speedup` ratio to
+//! `BENCH_cached_serve.json`. Offered rates are multiples of calibrated
+//! capacity, so "2.5× capacity" means the same thing on a laptop and a
+//! CI runner.
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin cached_serve [--smoke] [OUT.json]
+//! ```
+//!
+//! `--smoke` shrinks the graph and request counts to CI scale; CI
+//! validates the output with `check_bench_json` (schema + numeric
+//! ranges; full runs additionally gate `zipf_hot` speedup ≥ 2× and hit
+//! rate ≥ 0.5) and compares throughput against the committed full-run
+//! snapshot.
+
+use simpush::{AnswerCacheOptions, Config, SimPush};
+use simrank_eval::scenario::{
+    calibrate, run_scenario, run_scenario_cached, ArrivalShape, KeyDist, Scenario, ScenarioReport,
+    ScenarioScale, SloTarget,
+};
+use simrank_graph::{gen, GraphView};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+struct BinScale {
+    nodes: usize,
+    out_deg: usize,
+    epsilon: f64,
+    cache_capacity: usize,
+    cache_shards: usize,
+    scenario: ScenarioScale,
+}
+
+const FULL: BinScale = BinScale {
+    nodes: 20_000,
+    out_deg: 8,
+    epsilon: 0.02,
+    cache_capacity: 4_096,
+    cache_shards: 8,
+    scenario: ScenarioScale {
+        requests: 2_400,
+        min_updates: 64,
+        max_updates: 4_096,
+        updates_per_batch: 64,
+        workers: 2,
+        queue_capacity: 64,
+        compaction_threshold: 512,
+        calib_requests: 200,
+        calib_clients: 8,
+        deadline_queue_factor: 4,
+        top_k: 8,
+    },
+};
+
+/// CI scale: tiny graph, short pairs — enough to exercise both sides of
+/// every pair, the publish→invalidate hookup and the JSON schema in a
+/// few seconds.
+const SMOKE: BinScale = BinScale {
+    nodes: 400,
+    out_deg: 4,
+    epsilon: 0.05,
+    cache_capacity: 512,
+    cache_shards: 4,
+    scenario: ScenarioScale {
+        requests: 160,
+        min_updates: 16,
+        max_updates: 512,
+        updates_per_batch: 16,
+        workers: 2,
+        queue_capacity: 16,
+        compaction_threshold: 16,
+        calib_requests: 40,
+        calib_clients: 4,
+        deadline_queue_factor: 4,
+        top_k: 8,
+    },
+};
+
+const COPY_PROB: f64 = 0.75;
+const GRAPH_SEED: u64 = 7;
+const SCENARIO_SEED: u64 = 42;
+
+/// One cached-vs-uncached pair: a scenario shape plus the staleness
+/// bound its cached side runs under.
+struct PairSpec {
+    scenario: Scenario,
+    max_stale_epochs: u64,
+}
+
+/// The paired workloads. SLOs are permissive on purpose: the uncached
+/// sides of `zipf_hot`/`hot_flood` are *meant* to drown — the pair
+/// measures how much of the flood the cache absorbs, not whether the
+/// raw front-end survives it.
+fn pairs() -> Vec<PairSpec> {
+    let no_slo = SloTarget {
+        max_reject_rate: 1.0,
+        max_deadline_miss_rate: 1.0,
+    };
+    vec![
+        PairSpec {
+            scenario: Scenario {
+                name: "zipf_hot",
+                about: "power-law skew at 2.5x capacity: repeat keys become cache hits",
+                keys: KeyDist::Zipf { exponent: 1.2 },
+                arrivals: ArrivalShape::OpenLoop {
+                    load_factor: 2.5,
+                    burstiness: 0.1,
+                },
+                updates_per_query: 0.1,
+                remove_fraction: 0.3,
+                slo: no_slo,
+            },
+            max_stale_epochs: 8,
+        },
+        PairSpec {
+            scenario: Scenario {
+                name: "hot_flood",
+                about: "flood of the hottest in-degree nodes: a tiny hot set, huge reuse",
+                keys: KeyDist::HotSet { size: 4 },
+                arrivals: ArrivalShape::OpenLoop {
+                    load_factor: 1.6,
+                    burstiness: 0.3,
+                },
+                updates_per_query: 0.1,
+                remove_fraction: 0.3,
+                slo: no_slo,
+            },
+            max_stale_epochs: 8,
+        },
+        PairSpec {
+            scenario: Scenario {
+                name: "update_heavy",
+                about: "ingest-dominated with exact-only caching: invalidation churn",
+                keys: KeyDist::Uniform,
+                arrivals: ArrivalShape::OpenLoop {
+                    load_factor: 0.5,
+                    burstiness: 0.05,
+                },
+                updates_per_query: 2.0,
+                remove_fraction: 0.3,
+                slo: no_slo,
+            },
+            max_stale_epochs: 0,
+        },
+    ]
+}
+
+fn ns(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+/// Emits one side of a pair. The uncached side carries the same cache
+/// keys as zeros, so `pairs[*].uncached.*` and `pairs[*].cached.*`
+/// wildcard paths both hold over the whole array.
+fn side_entry(json: &mut String, label: &str, r: &ScenarioReport, last: bool) {
+    writeln!(json, "      \"{label}\": {{").unwrap();
+    writeln!(json, "        \"requests\": {},", r.requests).unwrap();
+    writeln!(json, "        \"updates\": {},", r.updates.len()).unwrap();
+    writeln!(json, "        \"offered_qps\": {:.1},", r.offered_qps).unwrap();
+    writeln!(json, "        \"accepted\": {},", r.accepted).unwrap();
+    writeln!(json, "        \"rejected\": {},", r.rejected).unwrap();
+    writeln!(json, "        \"answered\": {},", r.answered).unwrap();
+    writeln!(json, "        \"deadline_misses\": {},", r.deadline_misses).unwrap();
+    writeln!(json, "        \"throughput_qps\": {:.1},", r.throughput_qps).unwrap();
+    writeln!(json, "        \"reject_rate\": {:.4},", r.reject_rate()).unwrap();
+    writeln!(
+        json,
+        "        \"deadline_miss_rate\": {:.4},",
+        r.deadline_miss_rate()
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "        \"p50_latency_ns\": {},",
+        ns(r.p50_latency.unwrap_or_default())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "        \"p95_latency_ns\": {},",
+        ns(r.p95_latency.unwrap_or_default())
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "        \"p99_latency_ns\": {},",
+        ns(r.p99_latency.unwrap_or_default())
+    )
+    .unwrap();
+    writeln!(json, "        \"final_epoch\": {},", r.final_epoch).unwrap();
+    writeln!(json, "        \"wall_ns\": {},", ns(r.wall)).unwrap();
+    writeln!(json, "        \"cache_hits\": {},", r.cache_hits).unwrap();
+    writeln!(json, "        \"cache_misses\": {},", r.cache_misses).unwrap();
+    writeln!(json, "        \"hit_rate\": {:.4},", r.cache_hit_rate()).unwrap();
+    writeln!(json, "        \"evictions\": {},", r.cache_evictions).unwrap();
+    writeln!(json, "        \"invalidations\": {}", r.cache_invalidations).unwrap();
+    writeln!(json, "      }}{}", if last { "" } else { "," }).unwrap();
+}
+
+fn pair_entry(
+    json: &mut String,
+    spec: &PairSpec,
+    uncached: &ScenarioReport,
+    cached: &ScenarioReport,
+    last: bool,
+) {
+    let s = &spec.scenario;
+    let (load_factor, burstiness) = match s.arrivals {
+        ArrivalShape::OpenLoop {
+            load_factor,
+            burstiness,
+        } => (load_factor, burstiness),
+        ArrivalShape::ClosedLoop { .. } => (0.0, 0.0),
+    };
+    let (zipf_exponent, hot_set_size) = match s.keys {
+        KeyDist::Zipf { exponent } => (exponent, 0usize),
+        KeyDist::HotSet { size } => (0.0, size),
+        KeyDist::Uniform | KeyDist::Scan => (0.0, 0),
+    };
+    let speedup = if uncached.throughput_qps > 0.0 {
+        cached.throughput_qps / uncached.throughput_qps
+    } else {
+        0.0
+    };
+    writeln!(json, "    {{").unwrap();
+    writeln!(json, "      \"name\": \"{}\",", s.name).unwrap();
+    writeln!(json, "      \"about\": \"{}\",", s.about).unwrap();
+    writeln!(json, "      \"key_dist\": \"{}\",", s.keys.label()).unwrap();
+    writeln!(json, "      \"zipf_exponent\": {zipf_exponent},").unwrap();
+    writeln!(json, "      \"hot_set_size\": {hot_set_size},").unwrap();
+    writeln!(json, "      \"load_factor\": {load_factor},").unwrap();
+    writeln!(json, "      \"burstiness\": {burstiness},").unwrap();
+    writeln!(
+        json,
+        "      \"updates_per_query\": {},",
+        s.updates_per_query
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "      \"max_stale_epochs\": {},",
+        spec.max_stale_epochs
+    )
+    .unwrap();
+    side_entry(json, "uncached", uncached, false);
+    side_entry(json, "cached", cached, false);
+    writeln!(json, "      \"speedup\": {speedup:.3}").unwrap();
+    writeln!(json, "    }}{}", if last { "" } else { "," }).unwrap();
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_cached_serve.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if smoke { SMOKE } else { FULL };
+
+    let base = gen::copying_web(scale.nodes, scale.out_deg, COPY_PROB, GRAPH_SEED);
+    let engine = SimPush::new(Config::new(scale.epsilon));
+    eprintln!(
+        "[cached_serve] graph n={} m={}{}",
+        base.num_nodes(),
+        base.num_edges(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let calibration = calibrate(&engine, &base, &scale.scenario, SCENARIO_SEED);
+    eprintln!(
+        "[cached_serve] calibrated: capacity {:.0} q/s, mean service {:?}",
+        calibration.capacity_qps, calibration.mean_service
+    );
+
+    let specs = pairs();
+    let mut results: Vec<(ScenarioReport, ScenarioReport)> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let seed = SCENARIO_SEED + 100 + i as u64;
+        // Same seed on both sides: identical arrival schedule, key
+        // sequence and update stream, so the throughput ratio is the
+        // cache and nothing else.
+        let uncached = run_scenario(
+            &engine,
+            &base,
+            &spec.scenario,
+            &scale.scenario,
+            &calibration,
+            seed,
+        );
+        let cached = run_scenario_cached(
+            &engine,
+            &base,
+            &spec.scenario,
+            &scale.scenario,
+            &calibration,
+            seed,
+            Some(AnswerCacheOptions {
+                capacity: scale.cache_capacity,
+                shards: scale.cache_shards,
+                max_stale_epochs: spec.max_stale_epochs,
+            }),
+        );
+        eprintln!(
+            "[cached_serve] {:>12}: uncached {:.0} q/s -> cached {:.0} q/s ({:.2}x), hit rate {:.2}, invalidations {}",
+            spec.scenario.name,
+            uncached.throughput_qps,
+            cached.throughput_qps,
+            if uncached.throughput_qps > 0.0 {
+                cached.throughput_qps / uncached.throughput_qps
+            } else {
+                0.0
+            },
+            cached.cache_hit_rate(),
+            cached.cache_invalidations
+        );
+        results.push((uncached, cached));
+    }
+
+    let mut json = String::new();
+    // Hand-rolled JSON: the workspace intentionally has no serde. The
+    // check_bench_json binary validates schema AND numeric ranges in CI.
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"cached_serve\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"graph\": {{ \"family\": \"copying_web\", \"nodes\": {}, \"out_degree\": {}, \"copy_prob\": {COPY_PROB}, \"seed\": {GRAPH_SEED} }},",
+        scale.nodes, scale.out_deg
+    )
+    .unwrap();
+    writeln!(json, "  \"epsilon\": {},", scale.epsilon).unwrap();
+    writeln!(
+        json,
+        "  \"options\": {{ \"workers\": {}, \"queue_capacity\": {}, \"requests_per_scenario\": {}, \"updates_per_batch\": {}, \"top_k\": {}, \"compaction_threshold\": {}, \"deadline_queue_factor\": {}, \"cache_capacity\": {}, \"cache_shards\": {}, \"seed\": {SCENARIO_SEED} }},",
+        scale.scenario.workers,
+        scale.scenario.queue_capacity,
+        scale.scenario.requests,
+        scale.scenario.updates_per_batch,
+        scale.scenario.top_k,
+        scale.scenario.compaction_threshold,
+        scale.scenario.deadline_queue_factor,
+        scale.cache_capacity,
+        scale.cache_shards
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"calibration\": {{ \"requests\": {}, \"mean_service_ns\": {}, \"capacity_qps\": {:.1} }},",
+        calibration.requests,
+        ns(calibration.mean_service),
+        calibration.capacity_qps
+    )
+    .unwrap();
+    writeln!(json, "  \"pairs\": [").unwrap();
+    let count = results.len();
+    for (i, (spec, (uncached, cached))) in specs.iter().zip(&results).enumerate() {
+        pair_entry(&mut json, spec, uncached, cached, i + 1 == count);
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

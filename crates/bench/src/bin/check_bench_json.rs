@@ -98,6 +98,19 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "calibration.capacity_qps",
             "scenarios",
         ]),
+        "cached_serve" => Some(&[
+            "smoke",
+            "epsilon",
+            "options.workers",
+            "options.queue_capacity",
+            "options.requests_per_scenario",
+            "options.cache_capacity",
+            "options.cache_shards",
+            "calibration.requests",
+            "calibration.mean_service_ns",
+            "calibration.capacity_qps",
+            "pairs",
+        ]),
         _ => None,
     }
 }
@@ -183,6 +196,47 @@ const REQUIRED_SCENARIOS: &[&str] = &[
     "batch_scan",
     "hot_flood",
 ];
+
+/// Keys every `pairs` element of a `cached_serve` snapshot must carry —
+/// one cached-vs-uncached scenario pair each. Both sides emit the same
+/// side keys (the uncached side's cache counters are 0), so the dotted
+/// sub-paths are uniform across the array.
+const CACHED_PAIR_KEYS: &[&str] = &[
+    "name",
+    "about",
+    "key_dist",
+    "zipf_exponent",
+    "hot_set_size",
+    "load_factor",
+    "burstiness",
+    "updates_per_query",
+    "max_stale_epochs",
+    "uncached.requests",
+    "uncached.answered",
+    "uncached.throughput_qps",
+    "uncached.reject_rate",
+    "uncached.deadline_miss_rate",
+    "uncached.p99_latency_ns",
+    "uncached.final_epoch",
+    "uncached.wall_ns",
+    "cached.requests",
+    "cached.answered",
+    "cached.throughput_qps",
+    "cached.reject_rate",
+    "cached.deadline_miss_rate",
+    "cached.p99_latency_ns",
+    "cached.final_epoch",
+    "cached.wall_ns",
+    "cached.cache_hits",
+    "cached.cache_misses",
+    "cached.hit_rate",
+    "cached.evictions",
+    "cached.invalidations",
+    "speedup",
+];
+
+/// The pairs every `cached_serve` snapshot must report.
+const REQUIRED_PAIRS: &[&str] = &["zipf_hot", "hot_flood", "update_heavy"];
 
 /// Range assertions for `dynamic_serve` snapshots.
 const DYNAMIC_BOUNDS: &[Bound] = &[
@@ -317,6 +371,93 @@ const SCENARIO_NAMED_BOUNDS: &[(&str, &[Bound])] = &[
     ),
 ];
 
+/// Range assertions for `cached_serve` snapshots, applied to the whole
+/// document at both scales.
+const CACHED_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::at_least("options.workers", 1.0),
+    Bound::at_least("options.cache_capacity", 1.0),
+    Bound::at_least("options.cache_shards", 1.0),
+    Bound::at_least("calibration.mean_service_ns", 1.0),
+    Bound::at_least("calibration.capacity_qps", 0.1),
+    Bound::at_least("pairs[*].uncached.answered", 1.0),
+    Bound::at_least("pairs[*].cached.answered", 1.0),
+    Bound::at_least("pairs[*].uncached.throughput_qps", 0.1),
+    Bound::at_least("pairs[*].cached.throughput_qps", 0.1),
+    Bound::between("pairs[*].uncached.reject_rate", 0.0, 1.0),
+    Bound::between("pairs[*].cached.reject_rate", 0.0, 1.0),
+    Bound::between("pairs[*].cached.hit_rate", 0.0, 1.0),
+    Bound::at_least("pairs[*].speedup", 0.01),
+];
+
+/// Per-pair-name assertions for **full** runs — the PR's acceptance
+/// criteria, pinned so the committed snapshot can't quietly regress: the
+/// cache must at least double `zipf_hot` throughput at ≥ 2× offered load
+/// with a majority hit rate, keep `hot_flood` mostly hits, and show the
+/// delta-aware invalidation path actually firing under `update_heavy`
+/// (whose exact-only bound makes throughput parity the expectation, not
+/// a failure).
+const CACHED_NAMED_BOUNDS: &[(&str, &[Bound])] = &[
+    (
+        "zipf_hot",
+        &[
+            Bound::at_least("zipf_exponent", 1.0),
+            Bound::at_least("load_factor", 2.0),
+            Bound::at_least("speedup", 2.0),
+            Bound::at_least("cached.hit_rate", 0.5),
+        ],
+    ),
+    (
+        "hot_flood",
+        &[
+            Bound::at_least("hot_set_size", 1.0),
+            Bound::at_least("load_factor", 1.2),
+            Bound::at_least("speedup", 1.5),
+            Bound::at_least("cached.hit_rate", 0.5),
+        ],
+    ),
+    (
+        "update_heavy",
+        &[
+            Bound::at_least("updates_per_query", 1.0),
+            Bound::at_most("max_stale_epochs", 0.0),
+            Bound::at_least("cached.invalidations", 1.0),
+        ],
+    ),
+];
+
+/// Gentler per-pair assertions for **smoke** runs: CI boxes are noisy and
+/// tiny graphs have tiny hot sets, so only the workload *knobs* and the
+/// sign of the effect are gated — a cached side slower than half the
+/// uncached side means the cache path itself broke.
+const CACHED_SMOKE_NAMED_BOUNDS: &[(&str, &[Bound])] = &[
+    (
+        "zipf_hot",
+        &[
+            Bound::at_least("zipf_exponent", 1.0),
+            Bound::at_least("load_factor", 2.0),
+            Bound::at_least("speedup", 0.5),
+            Bound::at_least("cached.cache_hits", 1.0),
+        ],
+    ),
+    (
+        "hot_flood",
+        &[
+            Bound::at_least("hot_set_size", 1.0),
+            Bound::at_least("load_factor", 1.2),
+            Bound::at_least("speedup", 0.5),
+            Bound::at_least("cached.cache_hits", 1.0),
+        ],
+    ),
+    (
+        "update_heavy",
+        &[
+            Bound::at_least("updates_per_query", 1.0),
+            Bound::at_most("max_stale_epochs", 0.0),
+        ],
+    ),
+];
+
 /// Range assertions applied to every snapshot of a family. Each doubles
 /// as a presence check (a path resolving to nothing is a violation).
 fn family_bounds(bench: &str) -> &'static [Bound] {
@@ -326,6 +467,7 @@ fn family_bounds(bench: &str) -> &'static [Bound] {
         "warm_query" => WARM_BOUNDS,
         "frontend_serve" => FRONTEND_BOUNDS,
         "scenario_serve" => SCENARIO_BOUNDS,
+        "cached_serve" => CACHED_BOUNDS,
         _ => &[],
     }
 }
@@ -385,6 +527,58 @@ fn check_scenarios(path: &str, doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `cached_serve` snapshot's `pairs` array: per-element
+/// schema, presence of every [`REQUIRED_PAIRS`] name exactly once, and
+/// the element-relative per-name ranges — the strict
+/// [`CACHED_NAMED_BOUNDS`] acceptance gates on full runs, the gentler
+/// [`CACHED_SMOKE_NAMED_BOUNDS`] on smoke runs.
+fn check_cached_pairs(path: &str, doc: &Json) -> Result<(), String> {
+    let pairs = doc
+        .path("pairs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: \"pairs\" must be an array"))?;
+    let named: &[(&str, &[Bound])] = if doc.path("smoke").and_then(Json::as_bool) == Some(true) {
+        CACHED_SMOKE_NAMED_BOUNDS
+    } else {
+        CACHED_NAMED_BOUNDS
+    };
+    let mut names: Vec<&str> = Vec::with_capacity(pairs.len());
+    for (i, entry) in pairs.iter().enumerate() {
+        let missing = json::missing_paths(entry, CACHED_PAIR_KEYS);
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: pairs[{i}] missing required keys {missing:?}"
+            ));
+        }
+        let name = entry
+            .path("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: pairs[{i}].name must be a string"))?;
+        names.push(name);
+        if let Some((_, bounds)) = named.iter().find(|(n, _)| *n == name) {
+            let violations = json::check_bounds(entry, bounds);
+            if !violations.is_empty() {
+                return Err(format!(
+                    "{path}: pair \"{name}\" range violations:\n  {}",
+                    violations.join("\n  ")
+                ));
+            }
+        }
+    }
+    for required in REQUIRED_PAIRS {
+        match names.iter().filter(|n| *n == required).count() {
+            1 => {}
+            0 => return Err(format!("{path}: pair \"{required}\" is missing")),
+            k => {
+                return Err(format!(
+                    "{path}: pair \"{required}\" appears {k} times (must be unique)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Designated higher-is-better throughput metrics for `--compare`.
 ///
 /// Chosen so a smoke run (tiny graph) compared against the committed full
@@ -399,6 +593,7 @@ fn throughput_metrics(bench: &str) -> Option<&'static [&'static str]> {
         "sharded_serve" => Some(&["sweep[*].queries_per_sec"]),
         "frontend_serve" => Some(&["calibration.capacity_qps"]),
         "scenario_serve" => Some(&["calibration.capacity_qps", "scenarios[*].throughput_qps"]),
+        "cached_serve" => Some(&["calibration.capacity_qps", "pairs[*].cached.throughput_qps"]),
         _ => None,
     }
 }
@@ -465,6 +660,9 @@ fn check_file(path: &str) -> Result<String, String> {
     }
     if bench == "scenario_serve" {
         check_scenarios(path, &doc)?;
+    }
+    if bench == "cached_serve" {
+        check_cached_pairs(path, &doc)?;
     }
 
     // Range assertions: schema-valid but numerically nonsense fails too.

@@ -151,6 +151,7 @@ fn run_point(
             default_deadline: Some(deadline),
             top_k: 1,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         },
     );
 
@@ -317,6 +318,7 @@ fn main() {
             default_deadline: None,
             top_k: 1,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         },
     );
     let calib_start = Instant::now();

@@ -52,6 +52,7 @@
 //! frontend.shutdown();
 //! ```
 
+use crate::answer_cache::{AnswerCache, CacheKey, SupportTracer};
 use crate::query::SimPush;
 use crate::workspace::QueryWorkspace;
 use crossbeam::channel::{self, TrySendError};
@@ -79,6 +80,14 @@ pub trait SnapshotSource: Send + Sync + 'static {
 
     /// Acquires the current snapshot and its version tag (epoch or cut).
     fn acquire(&self) -> (Arc<Self::View>, u64);
+
+    /// Lock-free hint of the current version tag — a relaxed atomic load
+    /// that may briefly lag a concurrent publish/refresh but never runs
+    /// ahead of one. Workers use it to skip the read lock + `Arc` clone
+    /// of [`acquire`](Self::acquire) when the version is unchanged since
+    /// their last acquire, and to probe the answer cache before touching
+    /// the store at all.
+    fn version_hint(&self) -> u64;
 }
 
 impl SnapshotSource for GraphStore {
@@ -89,6 +98,10 @@ impl SnapshotSource for GraphStore {
         let epoch = snap.epoch();
         (snap, epoch)
     }
+
+    fn version_hint(&self) -> u64 {
+        GraphStore::version_hint(self)
+    }
 }
 
 impl<P: Partitioner + Clone + Send + Sync + 'static> SnapshotSource for ShardedStore<P> {
@@ -98,6 +111,10 @@ impl<P: Partitioner + Clone + Send + Sync + 'static> SnapshotSource for ShardedS
         let snap = self.snapshot();
         let cut = snap.cut();
         (snap, cut)
+    }
+
+    fn version_hint(&self) -> u64 {
+        ShardedStore::version_hint(self)
     }
 }
 
@@ -120,6 +137,13 @@ pub struct FrontendOptions {
     /// deployment; tests use it to age the queue deterministically and the
     /// saturation bench to model slow backends.
     pub synthetic_service_delay: Duration,
+    /// Shared hot-answer cache ([`AnswerCache`]). When set, workers probe
+    /// it at the store's [version hint](SnapshotSource::version_hint)
+    /// *before* acquiring a snapshot — a hit skips the snapshot and the
+    /// query entirely — and insert after answering a miss, tracing the
+    /// answer's support set so delta-aware invalidation can promote it
+    /// across publishes. `None` (the default) disables caching.
+    pub cache: Option<Arc<AnswerCache>>,
 }
 
 impl Default for FrontendOptions {
@@ -130,6 +154,7 @@ impl Default for FrontendOptions {
             default_deadline: None,
             top_k: 1,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         }
     }
 }
@@ -296,6 +321,8 @@ struct Counters {
     rejected: AtomicU64,
     answered: AtomicU64,
     deadline_misses: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
 }
@@ -311,6 +338,13 @@ pub struct FrontendStats {
     pub answered: u64,
     /// Requests dropped at dequeue because their deadline had passed.
     pub deadline_misses: u64,
+    /// Requests answered straight from the [`AnswerCache`] (no snapshot
+    /// acquired, no query run). Always 0 without a configured cache.
+    pub cache_hits: u64,
+    /// Requests that probed the cache and had to compute. Always 0
+    /// without a configured cache; `answered = cache_hits + cache_misses`
+    /// when one is set.
+    pub cache_misses: u64,
     /// Requests currently queued (racy gauge).
     pub queue_depth: usize,
     /// High-water mark of the queue depth since start. Measured at
@@ -320,6 +354,19 @@ pub struct FrontendStats {
     /// number of concurrently in-flight submitters (it is a gauge of
     /// admission pressure, not an exact buffer-occupancy bound).
     pub max_queue_depth: usize,
+}
+
+impl FrontendStats {
+    /// `cache_hits / (cache_hits + cache_misses)`; 0 when no cache was
+    /// configured (or nothing was served yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
 }
 
 /// The serving front-end: admission queue + worker pool over a
@@ -374,8 +421,9 @@ impl Frontend {
             let counters = counters.clone();
             let top_k = opts.top_k;
             let delay = opts.synthetic_service_delay;
+            let cache = opts.cache.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &*source, &engine, &counters, top_k, delay);
+                worker_loop(&rx, &*source, &engine, &counters, top_k, delay, cache);
             }));
         }
         Self {
@@ -558,6 +606,8 @@ impl Frontend {
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             answered: self.counters.answered.load(Ordering::Relaxed),
             deadline_misses: self.counters.deadline_misses.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             queue_depth: self.counters.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.counters.max_queue_depth.load(Ordering::Relaxed),
         }
@@ -604,8 +654,14 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
     counters: &Counters,
     top_k: usize,
     synthetic_delay: Duration,
+    cache: Option<Arc<AnswerCache>>,
 ) {
     let mut ws = QueryWorkspace::new();
+    let fingerprint = engine.config().fingerprint();
+    // Fast-path reacquire state: the snapshot served last, tagged with
+    // its version. While the store's lock-free version hint matches, the
+    // worker reuses it instead of paying the read lock + `Arc` clone.
+    let mut held: Option<(Arc<S::View>, u64)> = None;
     while let Ok(request) = rx.recv() {
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let dequeued_at = Instant::now();
@@ -624,16 +680,57 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
             std::thread::sleep(synthetic_delay);
         }
         let service_start = Instant::now();
-        let (snap, epoch) = source.acquire();
-        let result = engine.query_seeded_with(&*snap, request.node, &mut ws);
+        let hint = source.version_hint();
+        let key = CacheKey {
+            node: request.node,
+            top_k,
+            fingerprint,
+        };
+        if let Some(cache) = cache.as_deref() {
+            if let Some(hit) = cache.lookup(&key, hint) {
+                // Served without touching the store: no snapshot, no
+                // query. The response's epoch is the one the answer was
+                // *computed* at, preserving the replay contract.
+                counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                counters.answered.fetch_add(1, Ordering::Relaxed);
+                request.slot.fill(QueryOutcome::Answered(FrontendResponse {
+                    node: request.node,
+                    epoch: hit.computed_epoch,
+                    queue_wait,
+                    service: service_start.elapsed(),
+                    top: hit.top,
+                }));
+                continue;
+            }
+            counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if !matches!(&held, Some((_, version)) if *version == hint) {
+            held = Some(source.acquire());
+        }
+        let (snap, epoch) = held.as_ref().map(|(s, v)| (s, *v)).expect("just acquired");
+        let (top, support) = if cache.is_some() {
+            let tracer = SupportTracer::new(&**snap);
+            let result = engine.query_seeded_with(&tracer, request.node, &mut ws);
+            (result.top_k(top_k), Some(tracer.take_support()))
+        } else {
+            (
+                engine
+                    .query_seeded_with(&**snap, request.node, &mut ws)
+                    .top_k(top_k),
+                None,
+            )
+        };
         let service = service_start.elapsed();
+        if let (Some(cache), Some(support)) = (cache.as_deref(), support) {
+            cache.insert(key, epoch, support, top.clone());
+        }
         counters.answered.fetch_add(1, Ordering::Relaxed);
         request.slot.fill(QueryOutcome::Answered(FrontendResponse {
             node: request.node,
             epoch,
             queue_wait,
             service,
-            top: result.top_k(top_k),
+            top,
         }));
     }
 }
@@ -818,6 +915,11 @@ mod tests {
                 }
                 self.inner.acquire()
             }
+            fn version_hint(&self) -> u64 {
+                // Never matches a held snapshot, so every request
+                // reacquires (and the second acquire explodes).
+                u64::MAX
+            }
         }
         let source = Arc::new(ExplodingSource {
             inner: GraphStore::new(gen::gnm(30, 120, 1)),
@@ -834,6 +936,135 @@ mod tests {
             frontend.shutdown();
         }));
         assert!(caught.is_err(), "shutdown must surface the worker panic");
+    }
+
+    #[test]
+    fn cached_repeat_queries_hit_and_stay_bit_identical() {
+        use crate::answer_cache::{AnswerCache, AnswerCacheOptions};
+        let store = Arc::new(GraphStore::new(gen::gnm(100, 400, 5)));
+        let engine = SimPush::new(Config::new(0.05));
+        let cache = Arc::new(AnswerCache::new(AnswerCacheOptions::default()));
+        let frontend = Frontend::start(
+            &engine,
+            store.clone(),
+            FrontendOptions {
+                top_k: 3,
+                cache: Some(cache.clone()),
+                ..options(1, 16)
+            },
+        );
+        let first = match frontend.try_submit(7).unwrap().wait() {
+            QueryOutcome::Answered(r) => r,
+            other => panic!("expected an answer: {other:?}"),
+        };
+        let second = match frontend.try_submit(7).unwrap().wait() {
+            QueryOutcome::Answered(r) => r,
+            other => panic!("expected an answer: {other:?}"),
+        };
+        assert_eq!(first.top, second.top, "cache hit replays the answer");
+        assert_eq!(second.epoch, 0, "hit advertises the computed epoch");
+        let solo = engine.query_seeded(&*store.snapshot(), 7);
+        assert_eq!(first.top, solo.top_k(3), "cached path is bit-identical");
+        let stats = frontend.shutdown();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.answered, 2);
+        assert_eq!(stats.cache_hit_rate(), 0.5);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn publish_notification_invalidates_touched_answers_and_promotes_the_rest() {
+        use crate::answer_cache::{AnswerCache, AnswerCacheOptions};
+        // Two far-apart stars so their query support sets are disjoint.
+        let mut edges = Vec::new();
+        for leaf in 1..=6u32 {
+            edges.push((leaf, 0)); // star into node 0
+            edges.push((100 + leaf, 100)); // star into node 100
+        }
+        let base = simrank_graph::GraphBuilder::new()
+            .with_num_nodes(200)
+            .with_edges(edges)
+            .build();
+        let store = Arc::new(GraphStore::new(base));
+        let engine = SimPush::new(Config::new(0.05));
+        let cache = Arc::new(AnswerCache::new(AnswerCacheOptions::default()));
+        let frontend = Frontend::start(
+            &engine,
+            store.clone(),
+            FrontendOptions {
+                top_k: 3,
+                cache: Some(cache.clone()),
+                ..options(1, 16)
+            },
+        );
+        // Warm both keys at epoch 0.
+        let warm0 = match frontend.try_submit(0).unwrap().wait() {
+            QueryOutcome::Answered(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(
+            frontend.try_submit(100).unwrap().wait(),
+            QueryOutcome::Answered(_)
+        ));
+        // An update inside node 0's neighbourhood; node 100's star is
+        // untouched.
+        let (_, info) = store.commit(&[GraphUpdate::Insert(7, 0)]);
+        cache.on_publish(info.epoch, &info.touched);
+        let re0 = match frontend.try_submit(0).unwrap().wait() {
+            QueryOutcome::Answered(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(re0.epoch, 1, "touched key recomputed at the new epoch");
+        let solo = engine.query_seeded(&*store.snapshot(), 0);
+        assert_eq!(re0.top, solo.top_k(3));
+        let re100 = match frontend.try_submit(100).unwrap().wait() {
+            QueryOutcome::Answered(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            re100.epoch, 0,
+            "untouched key still serves its promoted epoch-0 answer"
+        );
+        let stats = frontend.shutdown();
+        assert_eq!(stats.cache_hits, 1, "only the untouched key hit");
+        assert_eq!(stats.cache_misses, 3);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(warm0.epoch, 0);
+    }
+
+    #[test]
+    fn staleness_bound_keeps_serving_during_churn() {
+        use crate::answer_cache::{AnswerCache, AnswerCacheOptions};
+        let store = Arc::new(GraphStore::new(gen::gnm(80, 320, 6)));
+        let engine = SimPush::new(Config::new(0.05));
+        let cache = Arc::new(AnswerCache::new(AnswerCacheOptions {
+            max_stale_epochs: 8,
+            ..AnswerCacheOptions::default()
+        }));
+        let frontend = Frontend::start(
+            &engine,
+            store.clone(),
+            FrontendOptions {
+                cache: Some(cache.clone()),
+                ..options(1, 16)
+            },
+        );
+        assert!(matches!(
+            frontend.try_submit(3).unwrap().wait(),
+            QueryOutcome::Answered(_)
+        ));
+        // Churn likely touching the whole neighbourhood; within the
+        // staleness bound the cached answer keeps serving.
+        let (_, info) = store.commit(&[GraphUpdate::Insert(3, 50), GraphUpdate::Insert(50, 3)]);
+        cache.on_publish(info.epoch, &info.touched);
+        let stale = match frontend.try_submit(3).unwrap().wait() {
+            QueryOutcome::Answered(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(stale.epoch, 0, "stale hit replays the epoch-0 answer");
+        let stats = frontend.shutdown();
+        assert_eq!(stats.cache_hits, 1);
     }
 
     #[test]

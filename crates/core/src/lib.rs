@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod answer_cache;
 pub mod batch;
 pub mod config;
 pub mod frontend;
@@ -85,6 +86,9 @@ pub mod source_graph;
 pub mod source_push;
 pub mod workspace;
 
+pub use answer_cache::{
+    AnswerCache, AnswerCacheOptions, CacheHit, CacheKey, CacheStats, SupportTracer,
+};
 pub use config::{Config, LevelDetection, McBudget};
 pub use frontend::{
     Frontend, FrontendOptions, FrontendResponse, FrontendStats, QueryOutcome, SnapshotSource,

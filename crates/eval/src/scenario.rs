@@ -36,7 +36,9 @@ use crate::mixed::{mixed_workload, open_loop_arrivals, MixedWorkload};
 use crate::zipf::ZipfKeys;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use simpush::{Frontend, FrontendOptions, QueryOutcome, SimPush, Ticket};
+use simpush::{
+    AnswerCache, AnswerCacheOptions, Frontend, FrontendOptions, QueryOutcome, SimPush, Ticket,
+};
 use simrank_common::stats::duration_percentile;
 use simrank_common::NodeId;
 use simrank_graph::{CsrGraph, GraphStore, GraphUpdate, GraphView};
@@ -57,6 +59,15 @@ pub enum KeyDist {
     /// Round-robin over the `size` highest **in-degree** nodes — the
     /// adversarial shape: repeated queries against the most expensive
     /// neighborhoods in the graph.
+    ///
+    /// **Pinned behavior:** the hot set is computed once, from the
+    /// scenario's *initial* snapshot, and never recomputed as the paced
+    /// writer mutates degrees mid-run. This keeps the key sequence a pure
+    /// function of `(base, scenario, seed)` — so cached-run hit rates are
+    /// seed-deterministic across the writer's epochs — and models the
+    /// realistic adversary, who floods the keys that were hot when the
+    /// flood started. The regression test
+    /// `hot_flood_hot_set_is_pinned_to_the_initial_snapshot` guards this.
     HotSet {
         /// How many top-degree nodes the flood cycles through.
         size: usize,
@@ -316,6 +327,7 @@ pub fn calibrate(
             default_deadline: None,
             top_k: scale.top_k,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         },
     );
     let start = Instant::now();
@@ -391,6 +403,16 @@ pub struct ScenarioReport {
     pub final_epoch: u64,
     /// Wall clock from first submission to last resolution.
     pub wall: Duration,
+    /// Answers served straight from the [`AnswerCache`] (0 when the run
+    /// was uncached).
+    pub cache_hits: u64,
+    /// Answers that probed the cache and recomputed (0 when uncached).
+    pub cache_misses: u64,
+    /// Cache entries evicted for capacity during the run.
+    pub cache_evictions: u64,
+    /// Cache entries invalidated by support-set intersection with a
+    /// publish's touched delta.
+    pub cache_invalidations: u64,
     /// Replayable records of every answered request, in submission order.
     pub answers: Vec<AnswerRecord>,
 }
@@ -418,6 +440,16 @@ impl ScenarioReport {
         self.reject_rate() <= slo.max_reject_rate
             && self.deadline_miss_rate() <= slo.max_deadline_miss_rate
     }
+
+    /// Fraction of answers served from the cache; 0 for uncached runs.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
 }
 
 /// The `size` highest in-degree nodes of `g`, ties broken toward smaller
@@ -434,7 +466,10 @@ pub fn hottest_in_degree_nodes<G: GraphView>(g: &G, size: usize) -> Vec<NodeId> 
     nodes
 }
 
-/// Materializes the scenario's deterministic key sequence.
+/// Materializes the scenario's deterministic key sequence from the
+/// **initial** base graph — [`KeyDist::HotSet`]'s hot set is derived here,
+/// once, and stays fixed while the run's writer mutates degrees (the
+/// pinned behavior documented on the variant).
 fn key_sequence(scenario: &Scenario, base: &CsrGraph, count: usize, seed: u64) -> Vec<NodeId> {
     let n = base.num_nodes();
     match scenario.keys {
@@ -471,6 +506,27 @@ pub fn run_scenario(
     calibration: &Calibration,
     seed: u64,
 ) -> ScenarioReport {
+    run_scenario_cached(engine, base, scenario, scale, calibration, seed, None)
+}
+
+/// [`run_scenario`] with an optional [`AnswerCache`]: when `cache_opts` is
+/// `Some`, a fresh cache is attached to the front-end, the paced writer
+/// notifies it of every publish's touched-node delta
+/// ([`AnswerCache::on_publish`]), and the report's `cache_*` fields carry
+/// the run's hit/miss/eviction/invalidation counts. `None` reproduces
+/// [`run_scenario`] exactly.
+///
+/// # Panics
+/// Same contract as [`run_scenario`].
+pub fn run_scenario_cached(
+    engine: &SimPush,
+    base: &CsrGraph,
+    scenario: &Scenario,
+    scale: &ScenarioScale,
+    calibration: &Calibration,
+    seed: u64,
+    cache_opts: Option<AnswerCacheOptions>,
+) -> ScenarioReport {
     let requests = scale.requests;
     let num_updates = ((requests as f64 * scenario.updates_per_query) as usize)
         .clamp(scale.min_updates, scale.max_updates);
@@ -504,6 +560,7 @@ pub fn run_scenario(
         base.clone(),
         scale.compaction_threshold,
     ));
+    let cache = cache_opts.map(|opts| Arc::new(AnswerCache::new(opts)));
     let frontend = Frontend::start(
         engine,
         store.clone(),
@@ -513,20 +570,28 @@ pub fn run_scenario(
             default_deadline: deadline,
             top_k: scale.top_k,
             synthetic_service_delay: Duration::ZERO,
+            cache: cache.clone(),
         },
     );
 
     // Writer: pace the whole update stream across the expected duration so
-    // epochs advance under live traffic (exactly like frontend_serve).
+    // epochs advance under live traffic (exactly like frontend_serve). In
+    // cached runs the writer is also the invalidation source: each commit
+    // hands its touched-node delta to the cache, so only entries whose
+    // support intersects the publish stop being served.
     let writer = {
         let store = store.clone();
+        let cache = cache.clone();
         let updates = workload.updates.clone();
         let batch = scale.updates_per_batch;
         let num_batches = updates.len().div_ceil(batch).max(1);
         let pace = expected_wall / num_batches as u32;
         std::thread::spawn(move || {
             for chunk in updates.chunks(batch) {
-                store.commit(chunk);
+                let (_, info) = store.commit(chunk);
+                if let Some(cache) = &cache {
+                    cache.on_publish(info.epoch, &info.touched);
+                }
                 std::thread::sleep(pace);
             }
         })
@@ -620,6 +685,10 @@ pub fn run_scenario(
         max_queue_depth: stats.max_queue_depth,
         final_epoch,
         wall,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: cache.as_ref().map_or(0, |c| c.stats().evictions),
+        cache_invalidations: cache.as_ref().map_or(0, |c| c.stats().invalidations),
         answers,
     }
 }
@@ -773,6 +842,90 @@ mod tests {
         // The update stream is the seed-deterministic one.
         let expected = mixed_workload(&base, 8, 0, scenario.remove_fraction, 11);
         assert_eq!(report.updates, expected.updates);
+    }
+
+    #[test]
+    fn hot_flood_hot_set_is_pinned_to_the_initial_snapshot() {
+        let base = gen::gnm(80, 400, 5);
+        let engine = SimPush::new(Config::new(0.05));
+        let scale = tiny_scale();
+        let calibration = calibrate(&engine, &base, &scale, 3);
+        let scenario = catalog()
+            .into_iter()
+            .find(|s| s.name == "hot_flood")
+            .unwrap();
+        let KeyDist::HotSet { size } = scenario.keys else {
+            panic!("hot_flood must flood a hot set");
+        };
+        // The pinned contract: keys come from the *initial* base's top
+        // in-degree nodes, even though the paced writer mutates degrees
+        // throughout the run.
+        let initial_hot = hottest_in_degree_nodes(&base, size);
+        let report = run_scenario(&engine, &base, &scenario, &scale, &calibration, 31);
+        assert!(
+            report.final_epoch > 0,
+            "the writer must actually mutate degrees mid-run"
+        );
+        assert!(!report.answers.is_empty());
+        for rec in &report.answers {
+            assert!(
+                initial_hot.contains(&rec.node),
+                "answered key {} outside the initial hot set {initial_hot:?}",
+                rec.node
+            );
+        }
+        // And the sequence itself is reproducible from (base, seed) alone.
+        assert_eq!(
+            key_sequence(&scenario, &base, 10, 31 + 1),
+            key_sequence(&scenario, &base, 10, 31 + 1),
+        );
+    }
+
+    #[test]
+    fn cached_scenario_counts_hits_and_stays_consistent() {
+        let base = gen::gnm(80, 400, 5);
+        let engine = SimPush::new(Config::new(0.05));
+        let scale = tiny_scale();
+        let calibration = calibrate(&engine, &base, &scale, 3);
+        // A closed-loop flood of 2 keys: deterministic answered count and
+        // plenty of repeats, so hits are guaranteed.
+        let scenario = Scenario {
+            name: "hot_flood",
+            keys: KeyDist::HotSet { size: 2 },
+            arrivals: ArrivalShape::ClosedLoop { clients: 2 },
+            ..catalog()
+                .into_iter()
+                .find(|s| s.name == "hot_flood")
+                .unwrap()
+        };
+        let report = run_scenario_cached(
+            &engine,
+            &base,
+            &scenario,
+            &scale,
+            &calibration,
+            41,
+            Some(AnswerCacheOptions {
+                max_stale_epochs: 1_000, // churn-proof: repeats must hit
+                ..AnswerCacheOptions::default()
+            }),
+        );
+        assert_eq!(report.answered, 40, "closed loop answers everything");
+        assert_eq!(
+            report.cache_hits + report.cache_misses,
+            report.answered,
+            "every answer either hit or probed-and-computed"
+        );
+        assert!(
+            report.cache_hits >= 30,
+            "2 keys over 40 requests: repeats must hit (got {})",
+            report.cache_hits
+        );
+        assert!((0.0..=1.0).contains(&report.cache_hit_rate()));
+        // The uncached entry point reports zeroed cache counters.
+        let uncached = run_scenario(&engine, &base, &scenario, &scale, &calibration, 41);
+        assert_eq!(uncached.cache_hits + uncached.cache_misses, 0);
+        assert_eq!(uncached.cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use mutable::MutableGraph;
 pub use overlay::DeltaOverlay;
-pub use sharded::{HashPartitioner, Partitioner, RangePartitioner, ShardedSnapshot, ShardedStore};
+pub use sharded::{
+    CutInfo, HashPartitioner, Partitioner, RangePartitioner, ShardedSnapshot, ShardedStore,
+};
 pub use simrank_common::NodeId;
 pub use stats::GraphStats;
 pub use store::{GraphSnapshot, GraphStore, GraphUpdate, PublishInfo};

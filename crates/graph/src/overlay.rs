@@ -47,6 +47,12 @@ pub struct DeltaOverlay {
     /// insert followed by a remove of the same edge counts twice even
     /// though the overlay is logically back at the base.
     churn: usize,
+    /// Endpoints of effective updates since the last
+    /// [`take_recent`](Self::take_recent) — unsorted, possibly repeated.
+    /// This is the *per-publish delta* feed for answer-cache invalidation,
+    /// distinct from the cumulative materialised-list keys that
+    /// [`touched_iter`](Self::touched_iter) walks.
+    recent: Vec<NodeId>,
 }
 
 impl DeltaOverlay {
@@ -59,6 +65,7 @@ impl DeltaOverlay {
             ins: FxHashMap::default(),
             m,
             churn: 0,
+            recent: Vec::new(),
         }
     }
 
@@ -78,14 +85,39 @@ impl DeltaOverlay {
         self.churn == 0
     }
 
-    /// Number of distinct nodes with a materialised (out or in) delta list.
-    pub fn touched_nodes(&self) -> usize {
-        self.outs.len()
-            + self
-                .ins
+    /// Borrowing iterator over the distinct nodes with a materialised (out
+    /// or in) delta list, without cloning any list. Order is unspecified
+    /// (hash-map iteration), so callers needing determinism must collect
+    /// and sort; counting and membership-style scans are deterministic as
+    /// is.
+    pub fn touched_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.outs.keys().copied().chain(
+            self.ins
                 .keys()
                 .filter(|v| !self.outs.contains_key(v))
-                .count()
+                .copied(),
+        )
+    }
+
+    /// Number of distinct nodes with a materialised (out or in) delta list.
+    pub fn touched_nodes(&self) -> usize {
+        self.touched_iter().count()
+    }
+
+    /// Drains the endpoints touched by effective updates since the last
+    /// call (or construction), sorted and deduplicated — the per-publish
+    /// delta [`GraphStore::publish`](crate::GraphStore::publish) exposes in
+    /// [`PublishInfo::touched`](crate::PublishInfo). Unlike
+    /// [`touched_iter`](Self::touched_iter), which reflects *cumulative*
+    /// churn since the base was frozen, this resets on every call, so two
+    /// consecutive publishes report disjoint responsibility for the same
+    /// overlay — and a compaction publish that applied no new updates
+    /// reports an empty delta.
+    pub fn take_recent(&mut self) -> Vec<NodeId> {
+        let mut recent = std::mem::take(&mut self.recent);
+        recent.sort_unstable();
+        recent.dedup();
+        recent
     }
 
     /// True if the directed edge `(src, dst)` currently exists.
@@ -127,6 +159,8 @@ impl DeltaOverlay {
         ins.insert(ipos, src);
         self.m += 1;
         self.churn += 1;
+        self.recent.push(src);
+        self.recent.push(dst);
         true
     }
 
@@ -155,6 +189,8 @@ impl DeltaOverlay {
         ins.remove(ipos);
         self.m -= 1;
         self.churn += 1;
+        self.recent.push(src);
+        self.recent.push(dst);
         true
     }
 
@@ -276,6 +312,35 @@ mod tests {
         assert_eq!(o.touched_nodes(), 3);
         o.remove_edge(1, 3); // outs[1] new; ins[3] dedups against outs[3]
         assert_eq!(o.touched_nodes(), 4);
+    }
+
+    #[test]
+    fn touched_iter_yields_each_touched_node_once() {
+        let mut o = DeltaOverlay::new(base());
+        o.insert_edge(3, 0); // outs[3], ins[0]
+        o.remove_edge(1, 3); // outs[1], ins[3] — 3 must not repeat
+        let mut touched: Vec<NodeId> = o.touched_iter().collect();
+        touched.sort_unstable();
+        assert_eq!(touched, vec![0, 1, 3]);
+        assert_eq!(o.touched_nodes(), 3);
+    }
+
+    #[test]
+    fn take_recent_drains_the_per_publish_delta() {
+        let mut o = DeltaOverlay::new(base());
+        assert!(o.take_recent().is_empty(), "clean overlay has no delta");
+        o.insert_edge(3, 0);
+        o.insert_edge(3, 2);
+        assert!(!o.insert_edge(3, 0), "no-op must not enter the delta");
+        assert_eq!(o.take_recent(), vec![0, 2, 3], "sorted, deduplicated");
+        assert!(
+            o.take_recent().is_empty(),
+            "second take reports nothing: responsibility was drained"
+        );
+        // Cumulative touched lists are unaffected by the drain.
+        assert_eq!(o.touched_nodes(), 3);
+        o.remove_edge(0, 1);
+        assert_eq!(o.take_recent(), vec![0, 1]);
     }
 
     #[test]

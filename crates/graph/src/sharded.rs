@@ -49,8 +49,8 @@ use crate::csr::CsrGraph;
 use crate::store::{GraphSnapshot, GraphStore, GraphUpdate, PublishInfo};
 use crate::view::GraphView;
 use simrank_common::NodeId;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Maps node ids to shard indices. Implementations must be pure functions
@@ -142,6 +142,21 @@ impl Partitioner for RangePartitioner {
         // bounds).
         (v as usize / self.chunk).min(self.shards - 1)
     }
+}
+
+/// What one [`refresh_cut`](ShardedStore::refresh_cut) did — the sharded
+/// analogue of [`PublishInfo`].
+#[derive(Debug, Clone)]
+pub struct CutInfo {
+    /// The new consistent-cut number readers now acquire.
+    pub cut: u64,
+    /// Distinct endpoints of the effective updates this cut made visible
+    /// (sorted ascending), aggregated across every shard publish since the
+    /// previous refresh. Mirror-side applies touch the same endpoints as
+    /// their owner-side twin, so aggregation dedups rather than
+    /// double-reports. Empty when the cut only re-assembled already-clean
+    /// shards (e.g. compaction-only publishes).
+    pub touched: Vec<NodeId>,
 }
 
 /// An immutable consistent cut of a [`ShardedStore`]: one epoch
@@ -268,6 +283,13 @@ pub struct ShardedStore<P: Partitioner + Clone> {
     /// The current consistent cut; readers clone the `Arc` under a read
     /// lock, exactly like [`GraphStore::snapshot`].
     published: RwLock<Arc<ShardedSnapshot<P>>>,
+    /// Lock-free mirror of the published cut number — the
+    /// [`version_hint`](Self::version_hint) fast path.
+    version: AtomicU64,
+    /// Endpoints touched by shard publishes since the last refresh
+    /// (unsorted, possibly repeated across mirrored applies); drained into
+    /// [`CutInfo::touched`] by [`refresh_cut`](Self::refresh_cut).
+    pending_touched: Mutex<Vec<NodeId>>,
 }
 
 impl<P: Partitioner + Clone> ShardedStore<P> {
@@ -333,6 +355,8 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
             n,
             m: AtomicUsize::new(base.num_edges()),
             published: RwLock::new(initial),
+            version: AtomicU64::new(0),
+            pending_touched: Mutex::new(Vec::new()),
         }
     }
 
@@ -388,6 +412,15 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
         self.snapshot().cut
     }
 
+    /// Lock-free hint of the current cut number — same contract as
+    /// [`GraphStore::version_hint`]: a relaxed load that may briefly lag a
+    /// concurrent refresh, advances by exactly 1 per
+    /// [`refresh`](Self::refresh)/[`refresh_cut`](Self::refresh_cut), and
+    /// never moves on shard applies or publishes alone.
+    pub fn version_hint(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
     /// Splits a batch into per-shard sub-batches: update `(s, t)` goes to
     /// shard `p(s)` and — when the edge crosses shards — is mirrored to
     /// `p(t)`, preserving stream order within every sub-batch. Both copies
@@ -439,9 +472,19 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
 
     /// Publishes shard `k`'s working overlay as its next epoch (compacting
     /// past the per-shard threshold). Invisible to readers of the
-    /// composite until the next [`refresh`](Self::refresh).
+    /// composite until the next [`refresh`](Self::refresh). The publish's
+    /// touched endpoints are accumulated for the next
+    /// [`refresh_cut`](Self::refresh_cut)'s aggregated delta (and still
+    /// reported in the returned [`PublishInfo`]).
     pub fn publish_shard(&self, k: usize) -> PublishInfo {
-        self.shards[k].publish()
+        let info = self.shards[k].publish();
+        if !info.touched.is_empty() {
+            self.pending_touched
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .extend_from_slice(&info.touched);
+        }
+        info
     }
 
     /// Assembles the current per-shard epochs into a new composite cut and
@@ -455,8 +498,24 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
     /// edge's two half-views disagree, which is no longer a single logical
     /// graph.
     pub fn refresh(&self) -> u64 {
+        self.refresh_cut().cut
+    }
+
+    /// [`refresh`](Self::refresh) returning the full [`CutInfo`]: the new
+    /// cut number plus the aggregated touched-endpoint delta of every
+    /// shard publish folded into this cut — what delta-aware cache
+    /// invalidation consumes. Same consistency contract as `refresh`.
+    pub fn refresh_cut(&self) -> CutInfo {
         let shards: Vec<Arc<GraphSnapshot>> = self.shards.iter().map(|s| s.snapshot()).collect();
         let m = self.m.load(Ordering::SeqCst);
+        let mut touched = std::mem::take(
+            &mut *self
+                .pending_touched
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
+        touched.sort_unstable();
+        touched.dedup();
         let mut published = self.published.write().unwrap_or_else(|p| p.into_inner());
         let cut = published.cut + 1;
         *published = Arc::new(ShardedSnapshot {
@@ -466,25 +525,30 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
             m,
             cut,
         });
-        cut
+        // Hint after the swap, while still holding the write lock, so
+        // hints advance in cut order (same rationale as GraphStore).
+        self.version.store(cut, Ordering::Relaxed);
+        drop(published);
+        CutInfo { cut, touched }
     }
 
     /// Sequential whole-store commit: routes `updates` to their incident
     /// shards, applies and publishes every shard, then refreshes the
     /// composite — one new consistent cut per call, semantically identical
     /// to [`GraphStore::commit`] on an unsharded store. Returns the
-    /// logically effective update count and the new cut number.
+    /// logically effective update count and the new cut's [`CutInfo`]
+    /// (cut number plus aggregated touched endpoints).
     ///
     /// # Panics
     /// Panics if any update names an out-of-range endpoint.
-    pub fn commit(&self, updates: &[GraphUpdate]) -> (usize, u64) {
+    pub fn commit(&self, updates: &[GraphUpdate]) -> (usize, CutInfo) {
         let routed = self.route_batch(updates);
         let mut effective = 0;
         for (k, sub) in routed.iter().enumerate() {
             effective += self.apply_shard(k, sub);
             self.publish_shard(k);
         }
-        (effective, self.refresh())
+        (effective, self.refresh_cut())
     }
 }
 
@@ -572,7 +636,12 @@ mod tests {
         let hashed = ShardedStore::new(&base, HashPartitioner::new(3));
         let (eff, cut) = hashed.commit(&updates);
         assert_eq!(eff, 5, "every update in the stream is effective");
-        assert_eq!(cut, 1);
+        assert_eq!(cut.cut, 1);
+        assert_eq!(
+            cut.touched,
+            vec![0, 1, 38, 39],
+            "aggregated distinct endpoints, mirrors deduplicated"
+        );
         assert_eq!(hashed.snapshot().to_csr(), want);
         assert_eq!(hashed.num_edges(), want.num_edges());
 
@@ -658,6 +727,33 @@ mod tests {
         assert_eq!(cut, 1);
         assert_eq!(before.num_edges(), base.num_edges());
         assert_eq!(store.snapshot().num_edges(), base.num_edges() + 1);
+    }
+
+    #[test]
+    fn version_hint_advances_exactly_on_refresh() {
+        let base = gen::gnm(30, 120, 4);
+        let store = ShardedStore::new(&base, HashPartitioner::new(2));
+        assert_eq!(store.version_hint(), 0);
+        // Applies and per-shard publishes leave the hint untouched…
+        let routed = store.route_batch(&[GraphUpdate::Insert(0, 29)]);
+        for (k, sub) in routed.iter().enumerate() {
+            store.apply_shard(k, sub);
+            store.publish_shard(k);
+        }
+        assert_eq!(
+            store.version_hint(),
+            0,
+            "publish alone must not move the hint"
+        );
+        // …and each refresh advances it by exactly one, in step with the cut.
+        let info = store.refresh_cut();
+        assert_eq!(info.cut, 1);
+        assert_eq!(store.version_hint(), 1);
+        assert_eq!(info.touched, vec![0, 29]);
+        let empty = store.refresh_cut();
+        assert_eq!(empty.cut, 2);
+        assert_eq!(store.version_hint(), 2);
+        assert!(empty.touched.is_empty(), "no publishes since the last cut");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::csr::CsrGraph;
 use crate::overlay::DeltaOverlay;
 use crate::view::GraphView;
 use simrank_common::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -115,7 +116,7 @@ impl GraphView for GraphSnapshot {
 }
 
 /// What one [`publish`](GraphStore::publish) did.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PublishInfo {
     /// Epoch number of the snapshot this publish made current.
     pub epoch: u64,
@@ -123,6 +124,14 @@ pub struct PublishInfo {
     pub compacted: bool,
     /// Time spent compacting (zero when `compacted` is false).
     pub compaction_time: Duration,
+    /// Distinct endpoints of the effective updates this publish made
+    /// visible (sorted ascending). This is the **per-publish delta**, not
+    /// cumulative overlay churn: a compaction-only publish (or any publish
+    /// with no new effective updates) reports an empty set, which is what
+    /// lets delta-aware caches keep answers whose neighbourhoods did not
+    /// actually change — compaction rewrites the representation, never the
+    /// logical graph.
+    pub touched: Vec<NodeId>,
 }
 
 #[derive(Debug)]
@@ -157,6 +166,9 @@ pub struct GraphStore {
     writer: Mutex<WriterState>,
     /// The current epoch; readers clone the `Arc` under a read lock.
     published: RwLock<Arc<GraphSnapshot>>,
+    /// Lock-free mirror of the published epoch number — the
+    /// [`version_hint`](Self::version_hint) fast path.
+    version: AtomicU64,
     compact_threshold: usize,
 }
 
@@ -195,6 +207,7 @@ impl GraphStore {
                 compaction_time: Duration::ZERO,
             }),
             published: RwLock::new(snapshot),
+            version: AtomicU64::new(0),
             compact_threshold: threshold,
         }
     }
@@ -217,6 +230,20 @@ impl GraphStore {
     /// Current epoch number (the one [`snapshot`](Self::snapshot) returns).
     pub fn epoch(&self) -> u64 {
         self.snapshot().epoch
+    }
+
+    /// Lock-free hint of the current epoch number: a relaxed atomic load,
+    /// no `RwLock`, no `Arc` clone. Readers that cached a snapshot skip
+    /// reacquisition while the hint matches their snapshot's epoch.
+    ///
+    /// The hint is updated *after* the publish swap, so it may briefly lag
+    /// the truly published epoch (never lead it past a reader's view in a
+    /// harmful way): acting on a stale hint just means serving from the
+    /// previous epoch's snapshot, indistinguishable from having dequeued
+    /// the request a moment earlier. It advances by exactly 1 per
+    /// [`publish`](Self::publish) — pinned by a unit test.
+    pub fn version_hint(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
     }
 
     /// How many times the overlay has been compacted into a fresh base.
@@ -284,10 +311,16 @@ impl GraphStore {
     /// blocked for the pointer swap, never for the clone or the rebuild.
     pub fn publish(&self) -> PublishInfo {
         let mut state = self.lock_writer();
+        // Drain the per-publish delta *before* any compaction: a rebuild
+        // replaces the working overlay (which would discard the pending
+        // delta), and the snapshot clone below must carry an already-empty
+        // delta so no endpoint is ever reported twice.
+        let touched = state.working.take_recent();
         let mut info = PublishInfo {
             epoch: 0,
             compacted: false,
             compaction_time: Duration::ZERO,
+            touched,
         };
         if state.working.churn() >= self.compact_threshold {
             let t = Instant::now();
@@ -307,6 +340,10 @@ impl GraphStore {
         // Swap while still holding the writer lock so epochs publish in
         // order; the write lock is held only for the pointer assignment.
         *self.published.write().unwrap_or_else(|p| p.into_inner()) = snapshot;
+        // Hint after the swap (still under the writer lock, so hints also
+        // advance in order): a reader seeing the new hint value might race
+        // an older snapshot only in the benign stale-by-one direction.
+        self.version.store(state.epoch, Ordering::Relaxed);
         info
     }
 
@@ -385,6 +422,60 @@ mod tests {
         // Further publishes without churn don't re-compact.
         store.publish();
         assert_eq!(store.compactions(), 1);
+    }
+
+    #[test]
+    fn publish_reports_the_per_publish_touched_delta() {
+        let store = GraphStore::new(GraphBuilder::new().with_num_nodes(6).build());
+        store.insert_edge(0, 1);
+        store.insert_edge(2, 3);
+        let info = store.publish();
+        assert_eq!(info.touched, vec![0, 1, 2, 3], "sorted distinct endpoints");
+        // The next publish is only responsible for what changed since.
+        store.remove_edge(2, 3);
+        let info = store.publish();
+        assert_eq!(info.touched, vec![2, 3]);
+        // No-op updates and empty publishes report an empty delta.
+        store.insert_edge(0, 1); // already present
+        let info = store.publish();
+        assert!(info.touched.is_empty());
+    }
+
+    #[test]
+    fn compaction_publish_reports_only_new_updates_as_touched() {
+        let base = GraphBuilder::new().with_num_nodes(40).build();
+        let store = GraphStore::with_compaction_threshold(base, 2);
+        assert!(store.insert_edge(0, 39));
+        assert!(store.insert_edge(1, 38));
+        let info = store.publish();
+        assert!(info.compacted);
+        assert_eq!(info.touched, vec![0, 1, 38, 39]);
+        // A later compaction triggered by *already-published* churn must
+        // not re-report old endpoints: compaction rewrites representation,
+        // not the logical graph.
+        assert!(store.insert_edge(2, 37));
+        assert!(store.insert_edge(3, 36));
+        let info = store.publish();
+        assert!(info.compacted, "threshold 2 reached again");
+        assert_eq!(info.touched, vec![2, 3, 36, 37]);
+    }
+
+    #[test]
+    fn version_hint_advances_exactly_on_publish() {
+        let store = GraphStore::new(GraphBuilder::new().with_num_nodes(4).build());
+        assert_eq!(store.version_hint(), 0);
+        store.insert_edge(0, 1);
+        assert_eq!(
+            store.version_hint(),
+            0,
+            "buffered updates must not move the hint"
+        );
+        for want in 1..=3u64 {
+            let info = store.publish();
+            assert_eq!(info.epoch, want);
+            assert_eq!(store.version_hint(), want, "hint == published epoch");
+            assert_eq!(store.snapshot().epoch(), store.version_hint());
+        }
     }
 
     #[test]

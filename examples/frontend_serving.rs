@@ -42,6 +42,7 @@ fn main() {
             default_deadline: Some(Duration::from_millis(250)),
             top_k: 3,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         },
     );
 

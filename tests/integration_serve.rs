@@ -195,6 +195,7 @@ fn frontend_answers_replay_bit_identically_on_their_epochs() {
             default_deadline: None,
             top_k: TOP_K,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         },
     );
 
@@ -278,6 +279,7 @@ fn frontend_on_a_sharded_store_replays_cuts_identically() {
             default_deadline: None,
             top_k: 2,
             synthetic_service_delay: Duration::ZERO,
+            cache: None,
         },
     );
     let writer = {
