@@ -1,0 +1,229 @@
+//! The ratchet baseline: frozen per-(file, rule) diagnostic counts.
+//!
+//! Pre-existing debt (today, only `panic-in-library` warnings) is
+//! recorded in a committed `analysis_baseline.txt`. `simcheck` fails on
+//! any diagnostic *beyond* the recorded count — so debt cannot grow —
+//! and reports counts that fell *below* it, so the baseline gets
+//! ratcheted down (regenerate with `simcheck --write-baseline`; the
+//! `baseline_selfcheck` test enforces the committed file exactly
+//! matches a fresh scan, in both directions).
+//!
+//! # File format
+//!
+//! One entry per line, sorted, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! <workspace-relative-path> <rule-id> <count>
+//! ```
+
+use crate::rules::Diagnostic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen diagnostic counts, keyed by (path, rule id).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Allowed count per (path, rule).
+    pub entries: BTreeMap<(String, String), u32>,
+}
+
+/// The result of checking a scan against a [`Baseline`].
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Diagnostics beyond the baselined count — these fail the build.
+    /// Per offending (path, rule), the *newest* `excess` diagnostics of
+    /// that key are listed (the ones at the highest lines; with a
+    /// count-only baseline there is no way to know which site is "new",
+    /// but listing `excess` of them names the right number of sites).
+    pub regressions: Vec<Diagnostic>,
+    /// (path, rule, allowed, actual) where actual < allowed — the
+    /// baseline should be ratcheted down.
+    pub improvements: Vec<(String, String, u32, u32)>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Returns `Err` with a 1-based
+    /// line number on malformed entries.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(path), Some(rule), Some(count), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<path> <rule> <count>`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+            if entries
+                .insert((path.to_owned(), rule.to_owned()), count)
+                .is_some()
+            {
+                return Err(format!(
+                    "baseline line {}: duplicate entry for {path} {rule}",
+                    idx + 1
+                ));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders diagnostics as a fresh baseline file (sorted, counted).
+    pub fn render(diagnostics: &[Diagnostic]) -> String {
+        let counts = count_by_key(diagnostics);
+        let mut out = String::from(
+            "# simcheck ratchet baseline — frozen diagnostic counts per (file, rule).\n\
+             # Counts may only go down: regenerate with `simcheck --write-baseline`\n\
+             # after burning debt down. Format: <path> <rule-id> <count>\n",
+        );
+        for ((path, rule), n) in &counts {
+            let _ = writeln!(out, "{path} {rule} {n}");
+        }
+        out
+    }
+
+    /// Checks a scan's diagnostics against the frozen counts.
+    pub fn compare(&self, diagnostics: &[Diagnostic]) -> Comparison {
+        let mut cmp = Comparison::default();
+        let counts = count_by_key(diagnostics);
+        for (key, &actual) in &counts {
+            let allowed = self.entries.get(key).copied().unwrap_or(0);
+            if actual > allowed {
+                let excess = (actual - allowed) as usize;
+                let mut offenders: Vec<&Diagnostic> = diagnostics
+                    .iter()
+                    .filter(|d| d.path == key.0 && d.rule == key.1)
+                    .collect();
+                offenders.sort_by_key(|d| d.line);
+                cmp.regressions
+                    .extend(offenders.into_iter().rev().take(excess).rev().cloned());
+            } else if actual < allowed {
+                cmp.improvements
+                    .push((key.0.clone(), key.1.clone(), allowed, actual));
+            }
+        }
+        // Baselined keys that no longer fire at all are improvements too.
+        for (key, &allowed) in &self.entries {
+            if !counts.contains_key(key) {
+                cmp.improvements
+                    .push((key.0.clone(), key.1.clone(), allowed, 0));
+            }
+        }
+        cmp.regressions
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        cmp.improvements.sort();
+        cmp
+    }
+}
+
+fn count_by_key(diagnostics: &[Diagnostic]) -> BTreeMap<(String, String), u32> {
+    let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for d in diagnostics {
+        *counts
+            .entry((d.path.clone(), d.rule.to_owned()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn diag(path: &str, line: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_owned(),
+            line,
+            rule,
+            severity: Severity::Warning,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let diags = vec![
+            diag("crates/a/src/lib.rs", 3, "panic-in-library"),
+            diag("crates/a/src/lib.rs", 9, "panic-in-library"),
+            diag("crates/b/src/lib.rs", 1, "atomic-ordering"),
+        ];
+        let rendered = Baseline::render(&diags);
+        let parsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(
+            parsed
+                .entries
+                .get(&("crates/a/src/lib.rs".into(), "panic-in-library".into())),
+            Some(&2)
+        );
+        assert_eq!(
+            parsed
+                .entries
+                .get(&("crates/b/src/lib.rs".into(), "atomic-ordering".into())),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("only two fields\n").is_err());
+        assert!(Baseline::parse("a b not-a-number\n").is_err());
+        assert!(Baseline::parse("a b 1\na b 2\n").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn counts_at_or_under_baseline_pass() {
+        let base = Baseline::parse("x.rs panic-in-library 2\n").unwrap();
+        let cmp = base.compare(&[
+            diag("x.rs", 1, "panic-in-library"),
+            diag("x.rs", 2, "panic-in-library"),
+        ]);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.improvements.is_empty());
+    }
+
+    #[test]
+    fn excess_diagnostics_regress_and_name_the_newest_sites() {
+        let base = Baseline::parse("x.rs panic-in-library 1\n").unwrap();
+        let cmp = base.compare(&[
+            diag("x.rs", 5, "panic-in-library"),
+            diag("x.rs", 9, "panic-in-library"),
+            diag("x.rs", 2, "panic-in-library"),
+        ]);
+        assert_eq!(cmp.regressions.len(), 2);
+        assert_eq!(
+            cmp.regressions.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![5, 9]
+        );
+    }
+
+    #[test]
+    fn unbaselined_rules_regress_immediately() {
+        let base = Baseline::default();
+        let cmp = base.compare(&[diag("x.rs", 4, "nondet-iteration")]);
+        assert_eq!(cmp.regressions.len(), 1);
+    }
+
+    #[test]
+    fn shrunk_and_vanished_counts_are_improvements() {
+        let base = Baseline::parse("x.rs panic-in-library 3\ny.rs panic-in-library 1\n").unwrap();
+        let cmp = base.compare(&[diag("x.rs", 1, "panic-in-library")]);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(
+            cmp.improvements,
+            vec![
+                ("x.rs".into(), "panic-in-library".into(), 3, 1),
+                ("y.rs".into(), "panic-in-library".into(), 1, 0),
+            ]
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! `simcheck` — run the workspace static-analysis pass and gate on the
+//! ratchet baseline.
+//!
+//! ```text
+//! simcheck [--root DIR] [--baseline FILE] [--report FILE]
+//! simcheck --write-baseline        # regenerate after burning debt down
+//! simcheck --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean (every diagnostic within the baseline), `1`
+//! unbaselined diagnostics found, `2` usage or I/O error. CI runs this
+//! workspace-wide in the `static-analysis` job and uploads `--report`
+//! as an artifact.
+
+use simrank_analysis::baseline::Baseline;
+use simrank_analysis::rules::all_rules;
+use simrank_analysis::scan::scan_workspace;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    report: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simcheck [--root DIR] [--baseline FILE] [--report FILE] \
+         [--write-baseline] [--list-rules]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        report: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => opts.root = PathBuf::from(args.next().ok_or_else(usage)?),
+            "--baseline" => opts.baseline = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--report" => opts.report = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(code) => return code,
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            println!("{} [{}] {}", rule.id(), rule.severity(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| opts.root.join("analysis_baseline.txt"));
+
+    let diagnostics = match scan_workspace(&opts.root) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("simcheck: scan failed under {}: {err}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(report) = &opts.report {
+        let mut text = String::new();
+        for d in &diagnostics {
+            text.push_str(&d.to_string());
+            text.push('\n');
+        }
+        if let Err(err) = fs::write(report, text) {
+            eprintln!("simcheck: cannot write report {}: {err}", report.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if opts.write_baseline {
+        let rendered = Baseline::render(&diagnostics);
+        if let Err(err) = fs::write(&baseline_path, rendered) {
+            eprintln!(
+                "simcheck: cannot write baseline {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "simcheck: wrote baseline {} ({} diagnostics frozen)",
+            baseline_path.display(),
+            diagnostics.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(err) => {
+                eprintln!("simcheck: {err}");
+                return ExitCode::from(2);
+            }
+        },
+        // No baseline file means no frozen debt: everything must be clean.
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(err) => {
+            eprintln!(
+                "simcheck: cannot read baseline {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = baseline.compare(&diagnostics);
+    for (path, rule, allowed, actual) in &cmp.improvements {
+        println!(
+            "simcheck: note: {path} {rule} fell {allowed} -> {actual}; ratchet the \
+             baseline down with --write-baseline"
+        );
+    }
+    if cmp.regressions.is_empty() {
+        println!(
+            "simcheck: clean — {} diagnostics, all within the baseline",
+            diagnostics.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &cmp.regressions {
+        eprintln!("{d}");
+    }
+    eprintln!(
+        "simcheck: {} unbaselined diagnostic(s) — fix them, suppress with a reasoned \
+         `// simcheck: allow(rule-id) — reason`, or (for ratcheted debt you are \
+         deliberately freezing) regenerate the baseline. See docs/ANALYSIS.md.",
+        cmp.regressions.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,208 @@
+//! `atomic-ordering` — memory-ordering hygiene for atomics.
+//!
+//! Two checks, both born from real hazards on the `version_hint` fast
+//! path and the counter plumbing around it:
+//!
+//! * **`Ordering::Relaxed` must be justified.** A relaxed access is
+//!   correct exactly when no other memory depends on its value — a
+//!   property of the surrounding protocol, invisible at the call site.
+//!   The rule requires a `relaxed:` comment (same line, or within the
+//!   three lines above) stating that argument, so the next editor can
+//!   check the protocol still holds before touching the site.
+//! * **`Ordering::SeqCst` is challenged.** `SeqCst` at a single site is
+//!   usually a guess, not a proof — it adds a global-order fence that
+//!   acquire/release almost always subsumes, and it *hides* the real
+//!   protocol. Each use must be downgraded or suppressed with the
+//!   cross-variable invariant that genuinely needs a total order.
+//!
+//! The justification marker is a comment **containing `relaxed:`**
+//! (case-insensitive), e.g.
+//! `// relaxed: plain counter; read only at quiescent points.`
+
+use super::{Diagnostic, Rule, Severity};
+use crate::source::SourceFile;
+
+/// How many lines above a `Relaxed` site a `relaxed:` justification
+/// comment may sit and still cover it (in addition to the same line).
+const JUSTIFICATION_REACH: u32 = 3;
+
+/// Flags unjustified `Ordering::Relaxed` and any `Ordering::SeqCst`.
+pub struct AtomicOrdering;
+
+impl Rule for AtomicOrdering {
+    fn id(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "Ordering::Relaxed without a `relaxed:` justification comment, or Ordering::SeqCst"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // Library code only: tests and CLI plumbing exercising an atomic
+        // do not carry protocol obligations.
+        if !file.is_library() {
+            return;
+        }
+        let tokens = &file.lexed.tokens;
+        for i in 0..tokens.len() {
+            if !tokens[i].is_ident("Ordering")
+                || !tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                || !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                continue;
+            }
+            let Some(variant) = tokens.get(i + 3) else {
+                continue;
+            };
+            let line = variant.line;
+            if file.in_test_code(line) {
+                continue;
+            }
+            if variant.is_ident("Relaxed") && !has_justification(file, line) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line,
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: "Ordering::Relaxed without a `relaxed:` justification \
+                              comment — state why no other memory depends on this \
+                              access's value"
+                        .to_owned(),
+                });
+            } else if variant.is_ident("SeqCst") {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line,
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: "Ordering::SeqCst — downgrade to acquire/release (or \
+                              Relaxed with a justification), or suppress with the \
+                              cross-variable invariant that needs a total order"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// True when a comment containing `relaxed:` (case-insensitive) covers
+/// `line`: starts on the same line, or its comment *block* — the run of
+/// line comments on consecutive lines it belongs to, since a multi-line
+/// `//` paragraph lexes as one comment per line — ends within
+/// [`JUSTIFICATION_REACH`] lines above it.
+fn has_justification(file: &SourceFile, line: u32) -> bool {
+    let comments = &file.lexed.comments;
+    comments.iter().enumerate().any(|(i, c)| {
+        if !c.text.to_ascii_lowercase().contains("relaxed:") {
+            return false;
+        }
+        if c.line == line {
+            return true;
+        }
+        let mut end = c.end_line;
+        for next in &comments[i + 1..] {
+            if next.line == end + 1 {
+                end = next.end_line;
+            } else if next.line > end + 1 {
+                break;
+            }
+        }
+        end < line && line - end <= JUSTIFICATION_REACH
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        AtomicOrdering.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_relaxed_is_flagged() {
+        let out = run("fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn trailing_justification_covers_the_site() {
+        let out = run(
+            "c.fetch_add(1, Ordering::Relaxed); // relaxed: stat counter, read at shutdown only\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn justification_above_covers_within_reach_only() {
+        let near = "// relaxed: stat counter, read at shutdown only\n\
+                    c.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(run(near).is_empty());
+        let far = "// relaxed: stat counter\n\n\n\n\nc.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            run(far).len(),
+            1,
+            "a justification 5 lines up is out of reach"
+        );
+    }
+
+    #[test]
+    fn multi_line_comment_paragraphs_count_as_one_block() {
+        // Only the first line carries the marker; the block's *end* is
+        // what must be within reach of the site.
+        let src = "\
+// relaxed: hint stored after the swap, still under the writer
+// lock, so hints advance in order; a reader seeing the new value
+// can race an older snapshot only in the benign stale-by-one
+// direction.
+self.version.store(epoch, Ordering::Relaxed);\n";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn one_justification_does_not_cover_a_later_dense_run() {
+        // Two loads on consecutive lines: a comment above covers both
+        // (both are within reach) — but only sites within the reach
+        // window; a third far below is not covered.
+        let src = "// relaxed: monotone stat counters, never drive control flow\n\
+                   let a = x.load(Ordering::Relaxed);\n\
+                   let b = y.load(Ordering::Relaxed);\n\n\n\n\
+                   let c = z.load(Ordering::Relaxed);\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 7);
+    }
+
+    #[test]
+    fn seqcst_is_always_flagged() {
+        let out = run("// relaxed: irrelevant\nflag.store(true, Ordering::SeqCst);\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn acquire_release_and_test_code_pass() {
+        assert!(run("v.load(Ordering::Acquire); v.store(1, Ordering::Release);\n").is_empty());
+        assert!(run("#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n").is_empty());
+    }
+
+    #[test]
+    fn integration_tests_are_out_of_scope() {
+        let file = SourceFile::new(
+            "tests/alloc_zero.rs",
+            "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n",
+        );
+        let mut out = Vec::new();
+        AtomicOrdering.check(&file, &mut out);
+        assert!(out.is_empty());
+    }
+}

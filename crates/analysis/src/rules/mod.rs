@@ -1,0 +1,413 @@
+//! The rule framework: diagnostics, stable rule IDs, severities, inline
+//! suppressions, and the per-file analysis driver.
+//!
+//! # Rule catalog
+//!
+//! | ID | Severity | Defends |
+//! |----|----------|---------|
+//! | `nondet-iteration` | error | bit-identical replay: no hash-ordered containers in answer-affecting crates without a documented order argument |
+//! | `atomic-ordering` | error | memory-ordering hygiene: every `Ordering::Relaxed` justified in a comment, every `SeqCst` challenged |
+//! | `lock-discipline` | error | deadlock freedom: nested locks follow the declared hierarchy, no blocking channel ops under a lock |
+//! | `panic-in-library` | warning | panic-freedom ratchet: `unwrap`/`expect`/`panic!`-family counts in library code only go down |
+//! | `suppression-hygiene` | error | the suppression mechanism itself: every `allow` names a known rule and carries a reason |
+//!
+//! The full catalog — rationale, examples, how to fix or suppress each —
+//! lives in `docs/ANALYSIS.md`.
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // simcheck: allow(rule-id) — reason the hazard does not apply here
+//! // simcheck: allow-file(rule-id) — reason covering the whole file
+//! ```
+//!
+//! An `allow` covers its own line(s) plus — when the comment stands on a
+//! line of its own — the next line that has code on it. `allow-file`
+//! covers the entire file and is meant for definition sites (e.g. the
+//! module that *implements* the deterministic hash wrappers). Both forms
+//! **require a reason**: a suppression is an argument for why the hazard
+//! does not apply, and an argument needs words. A reasonless or
+//! unknown-rule suppression is itself a diagnostic
+//! (`suppression-hygiene`), and that one cannot be suppressed.
+
+use crate::lexer::Comment;
+use crate::source::SourceFile;
+use std::fmt;
+
+mod atomic_ordering;
+mod lock_discipline;
+mod nondet_iter;
+mod panic_lib;
+
+pub use atomic_ordering::AtomicOrdering;
+pub use lock_discipline::LockDiscipline;
+pub use nondet_iter::NondetIteration;
+pub use panic_lib::PanicInLibrary;
+
+/// Rule id of the suppression-hygiene meta checks (not a [`Rule`] — it
+/// polices the suppressions themselves and cannot be suppressed).
+pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+
+/// How severe a diagnostic is. Both levels gate CI identically (any
+/// unbaselined diagnostic fails the build); the split exists so reports
+/// sort hard correctness hazards above debt-ratchet noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A correctness/determinism hazard that should be fixed or argued
+    /// away in a suppression.
+    Error,
+    /// Frozen debt tracked by the ratchet baseline.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding: a rule fired at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (see the [module docs](self) catalog).
+    pub rule: &'static str,
+    /// Display severity.
+    pub severity: Severity,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} [{}] {}",
+            self.path, self.line, self.rule, self.severity, self.message
+        )
+    }
+}
+
+/// A static-analysis rule over one lexed source file.
+pub trait Rule {
+    /// Stable, kebab-case rule id (baseline keys and suppressions use it).
+    fn id(&self) -> &'static str;
+    /// Display severity for this rule's diagnostics.
+    fn severity(&self) -> Severity;
+    /// One-line description for `simcheck --list-rules`.
+    fn description(&self) -> &'static str;
+    /// Appends this rule's diagnostics for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// The full registry, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NondetIteration),
+        Box::new(AtomicOrdering),
+        Box::new(LockDiscipline),
+        Box::new(PanicInLibrary),
+    ]
+}
+
+/// A parsed `// simcheck: allow(…)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule ids listed in the parens (comma-separated).
+    pub rules: Vec<String>,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True for `allow-file` (covers the whole file).
+    pub file_level: bool,
+    /// The justification text after the closing paren (dashes stripped);
+    /// empty means the suppression is invalid.
+    pub reason: String,
+}
+
+/// Parses every suppression out of a file's comments. Comments without
+/// the `simcheck:` marker are ignored; malformed marker comments (no
+/// `allow(`/`allow-file(` after the marker, or an unclosed paren) are
+/// reported as a [`SUPPRESSION_HYGIENE`] diagnostic by
+/// [`analyze_file`], via a sentinel suppression with no rules.
+pub fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in comments {
+        // Doc comments (`///`, `//!`, `/** */`, `/*! */`) *document* the
+        // suppression syntax — rulebooks, examples — and are never
+        // themselves suppressions. Only plain comments carry authority.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| comment.text.starts_with(d))
+        {
+            continue;
+        }
+        let Some(marker) = comment.text.find("simcheck:") else {
+            continue;
+        };
+        let rest = comment.text[marker + "simcheck:".len()..].trim_start();
+        let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            // A marker comment that is not a well-formed allow —
+            // surfaced as a hygiene diagnostic, never silently ignored.
+            out.push(Suppression {
+                rules: Vec::new(),
+                line: comment.line,
+                file_level: false,
+                reason: String::new(),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Suppression {
+                rules: Vec::new(),
+                line: comment.line,
+                file_level: false,
+                reason: String::new(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        // The reason is whatever follows the closing paren, minus
+        // separator dashes (—, – or -) and trailing comment decoration.
+        let reason = rest[close + 1..]
+            .trim_matches(|c: char| {
+                c.is_whitespace() || c == '—' || c == '–' || c == '-' || c == '*' || c == '/'
+            })
+            .to_owned();
+        out.push(Suppression {
+            rules,
+            line: comment.line,
+            file_level,
+            reason,
+        });
+    }
+    out
+}
+
+/// Runs every rule over `file`, applies suppressions, and appends the
+/// surviving diagnostics plus any suppression-hygiene findings.
+pub fn analyze_file(file: &SourceFile, rules: &[Box<dyn Rule>], out: &mut Vec<Diagnostic>) {
+    let mut raw = Vec::new();
+    for rule in rules {
+        rule.check(file, &mut raw);
+    }
+
+    let suppressions = parse_suppressions(&file.lexed.comments);
+    let known: Vec<&'static str> = rules.iter().map(|r| r.id()).collect();
+
+    // Hygiene checks on the suppressions themselves (not suppressible).
+    for s in &suppressions {
+        if s.rules.is_empty() {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: s.line,
+                rule: SUPPRESSION_HYGIENE,
+                severity: Severity::Error,
+                message: "malformed simcheck comment: expected \
+                          `simcheck: allow(rule-id) — reason`"
+                    .to_owned(),
+            });
+            continue;
+        }
+        for r in &s.rules {
+            if !known.contains(&r.as_str()) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: s.line,
+                    rule: SUPPRESSION_HYGIENE,
+                    severity: Severity::Error,
+                    message: format!("suppression names unknown rule `{r}`"),
+                });
+            }
+        }
+        if s.reason.is_empty() {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: s.line,
+                rule: SUPPRESSION_HYGIENE,
+                severity: Severity::Error,
+                message: format!(
+                    "suppression of `{}` has no reason — every allow must \
+                     argue why the hazard does not apply",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    // Line coverage: an own-line comment covers the next line with code
+    // on it; a trailing comment covers its own line(s).
+    let covered = |rule: &str, line: u32| -> bool {
+        suppressions.iter().any(|s| {
+            if s.reason.is_empty() || !s.rules.iter().any(|r| r == rule) {
+                return false;
+            }
+            if s.file_level {
+                return true;
+            }
+            let comment = file
+                .lexed
+                .comments
+                .iter()
+                .find(|c| c.line == s.line)
+                .map_or((s.line, s.line), |c| (c.line, c.end_line));
+            if comment.0 <= line && line <= comment.1 {
+                return true;
+            }
+            // Next line with a code token after the comment's end.
+            file.lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > comment.1)
+                == Some(line)
+        })
+    };
+
+    out.extend(raw.into_iter().filter(|d| !covered(d.rule, d.line)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        analyze_file(&file, &all_rules(), &mut out);
+        out
+    }
+
+    #[test]
+    fn suppression_parses_rules_and_reason() {
+        let file = SourceFile::new(
+            "x.rs",
+            "// simcheck: allow(nondet-iteration, atomic-ordering) — lookup only, never iterated\n",
+        );
+        let s = parse_suppressions(&file.lexed.comments);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].rules, vec!["nondet-iteration", "atomic-ordering"]);
+        assert!(!s[0].file_level);
+        assert_eq!(s[0].reason, "lookup only, never iterated");
+    }
+
+    #[test]
+    fn suppression_accepts_ascii_dash_separators() {
+        let file = SourceFile::new(
+            "x.rs",
+            "// simcheck: allow-file(panic-in-library) -- CLI tool\n",
+        );
+        let s = parse_suppressions(&file.lexed.comments);
+        assert!(s[0].file_level);
+        assert_eq!(s[0].reason, "CLI tool");
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_hygiene_error_and_does_not_suppress() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "// simcheck: allow(nondet-iteration)\nfn f(m: FxHashMap<u32, u32>) {}\n",
+        );
+        assert!(out
+            .iter()
+            .any(|d| d.rule == SUPPRESSION_HYGIENE && d.message.contains("no reason")));
+        assert!(
+            out.iter().any(|d| d.rule == "nondet-iteration"),
+            "a reasonless allow must not suppress: {out:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_marker_are_hygiene_errors() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "// simcheck: allow(no-such-rule) — whatever\n// simcheck: disable everything\nfn f() {}\n",
+        );
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("unknown rule `no-such-rule`")));
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("malformed simcheck comment")));
+    }
+
+    #[test]
+    fn own_line_suppression_covers_the_next_code_line() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "// simcheck: allow(nondet-iteration) — keyed lookups only; never iterated\n\
+             fn f(m: FxHashMap<u32, u32>) {}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_own_line() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "fn f(m: FxHashMap<u32, u32>) {} // simcheck: allow(nondet-iteration) — param type, never iterated\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_later_lines() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "// simcheck: allow(nondet-iteration) — first site only\n\
+             fn f(m: FxHashMap<u32, u32>) {}\n\
+             fn g(m: FxHashMap<u32, u32>) {}\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn file_level_suppression_covers_everything() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "// simcheck: allow-file(nondet-iteration) — this module implements the deterministic wrapper\n\
+             fn f(m: FxHashMap<u32, u32>) {}\n\
+             fn g(s: FxHashSet<u32>) {}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_suppressions() {
+        let file = SourceFile::new(
+            "x.rs",
+            "//! Suppress with `// simcheck: allow(rule-id) — reason`.\n\
+             /// e.g. `// simcheck: allow(nondet-iteration)` needs a reason.\n\
+             fn f() {}\n",
+        );
+        assert!(parse_suppressions(&file.lexed.comments).is_empty());
+    }
+
+    #[test]
+    fn rule_registry_ids_are_stable() {
+        let ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "nondet-iteration",
+                "atomic-ordering",
+                "lock-discipline",
+                "panic-in-library"
+            ]
+        );
+    }
+}

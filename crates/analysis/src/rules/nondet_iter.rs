@@ -1,0 +1,136 @@
+//! `nondet-iteration` — hash-ordered containers in answer-affecting code.
+//!
+//! The replay contract (answers rebuild bit-identically against their
+//! epoch) dies the moment a `HashMap`/`HashSet` is *iterated* in an
+//! answer-affecting path: `std`'s `RandomState` reseeds per process, so
+//! iteration order — and therefore any fold over it — changes run to
+//! run. A token rule cannot see iteration, so the rule is deliberately
+//! stricter: it flags every *mention* of a hash-ordered container type
+//! in the answer-affecting crates and requires each site to either use a
+//! deterministic-order type or carry a suppression arguing why order
+//! cannot leak (fixed-seed hasher plus identical insertion sequence,
+//! lookups only, drained through a sort, …). `use` declarations are
+//! exempt — the import is not the hazard, the use sites are.
+
+use super::{Diagnostic, Rule, Severity};
+use crate::source::SourceFile;
+
+/// The container type names the rule looks for. `FxHashMap`/`FxHashSet`
+/// are included on purpose: the fixed seed makes the *hasher*
+/// deterministic, but iteration order still depends on the full
+/// insertion/removal history, so each site owes a one-line argument for
+/// why that history is itself deterministic.
+const CONTAINERS: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Flags hash-ordered container mentions in answer-affecting crates.
+pub struct NondetIteration;
+
+impl Rule for NondetIteration {
+    fn id(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn description(&self) -> &'static str {
+        "hash-ordered container in an answer-affecting crate without a documented order argument"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.is_answer_affecting() {
+            return;
+        }
+        let tokens = &file.lexed.tokens;
+        let mut in_use_decl = false;
+        for token in tokens {
+            if token.is_ident("use") {
+                in_use_decl = true;
+            } else if token.is_punct(';') {
+                in_use_decl = false;
+            }
+            if in_use_decl || file.in_test_code(token.line) {
+                continue;
+            }
+            if CONTAINERS.iter().any(|c| token.is_ident(c)) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: token.line,
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "`{}` in an answer-affecting crate: iteration order is not \
+                         deterministic — use a deterministic-order container, or \
+                         suppress with an argument for why order cannot leak into \
+                         an answer",
+                        token.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        NondetIteration.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_container_mentions_in_answer_affecting_code() {
+        let out = run(
+            "crates/walks/src/engine.rs",
+            "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].rule, "nondet-iteration");
+    }
+
+    #[test]
+    fn fx_variants_are_flagged_too() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "struct S { m: FxHashMap<u32, u32>, s: FxHashSet<u32> }\n",
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn use_declarations_are_exempt() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "use std::collections::{HashMap, HashSet};\nuse crate::hash::FxHashMap;\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn other_crates_and_test_code_are_out_of_scope() {
+        assert!(run(
+            "crates/bench/src/json.rs",
+            "fn f(m: HashMap<u32, u32>) {}\n"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(m: HashMap<u32, u32>) {}\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_do_not_fire() {
+        let out = run(
+            "crates/core/src/x.rs",
+            "// a HashMap would be wrong here\nfn f() { log(\"HashMap\"); }\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,152 @@
+//! `panic-in-library` — the panic-freedom ratchet.
+//!
+//! A panic in library code turns a caller's recoverable error into a
+//! process abort — in the serving front-end it takes a whole worker
+//! (and every queued query on it) down with the one bad request. New
+//! library code should return `Result`; existing debt is frozen in the
+//! ratchet baseline so the count only goes down.
+//!
+//! Flagged in non-test library code (see
+//! [`SourceFile::is_library`](crate::source::SourceFile::is_library)):
+//!
+//! * `.unwrap()` with empty parens — `unwrap_or`/`unwrap_or_else`/
+//!   `unwrap_or_default` are fine, they do not panic;
+//! * `.expect(…)`;
+//! * the panicking macros `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`, `assert!`-family excluded (asserts state
+//!   invariants; a debug-only invariant check is not the hazard this
+//!   rule ratchets).
+//!
+//! Sites where the panic is provably unreachable (a just-checked
+//! invariant) can be suppressed with the proof as the reason; everything
+//! else counts against the baseline.
+
+use super::{Diagnostic, Rule, Severity};
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Macro names that abort the process when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Ratchets `unwrap`/`expect`/`panic!`-family use in library code.
+pub struct PanicInLibrary;
+
+impl Rule for PanicInLibrary {
+    fn id(&self) -> &'static str {
+        "panic-in-library"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!-family in non-test library code (ratcheted: count only goes down)"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !file.is_library() {
+            return;
+        }
+        let tokens = &file.lexed.tokens;
+        for i in 0..tokens.len() {
+            let t = &tokens[i];
+            if t.kind != TokenKind::Ident || file.in_test_code(t.line) {
+                continue;
+            }
+            if let Some(what) = panic_site(tokens, i) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: self.id(),
+                    severity: self.severity(),
+                    message: format!(
+                        "{what} in library code — return a Result (or suppress with \
+                         a proof the panic is unreachable)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Classifies token `i` as a panic site, returning a display name.
+fn panic_site(tokens: &[Token], i: usize) -> Option<String> {
+    let t = &tokens[i];
+    let after_dot = i > 0 && tokens[i - 1].is_punct('.');
+    if after_dot
+        && t.is_ident("unwrap")
+        && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && tokens.get(i + 2).is_some_and(|n| n.is_punct(')'))
+    {
+        return Some(".unwrap()".to_owned());
+    }
+    if after_dot && t.is_ident("expect") && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+        return Some(".expect(…)".to_owned());
+    }
+    if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+        && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+    {
+        return Some(format!("{}!", t.text));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SourceFile::new(path, src);
+        let mut out = Vec::new();
+        PanicInLibrary.check(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_macros_are_flagged() {
+        let src = "\
+fn f() {
+    x.unwrap();
+    y.expect(\"reason\");
+    panic!(\"boom\");
+    unreachable!();
+}
+";
+        let out = run("crates/graph/src/io.rs", src);
+        assert_eq!(out.len(), 4, "{out:?}");
+        assert_eq!(
+            out.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn non_panicking_unwrap_variants_pass() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n";
+        assert!(run("crates/graph/src/io.rs", src).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_not_ratcheted() {
+        let src = "fn f() { assert!(ok); assert_eq!(a, b); debug_assert!(inv); }\n";
+        assert!(run("crates/graph/src/io.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_binaries_and_integration_tests_are_exempt() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert!(run("crates/bench/src/bin/check.rs", src).is_empty());
+        assert!(run("tests/prop_cache.rs", src).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run("crates/graph/src/io.rs", in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn a_field_named_unwrap_does_not_match() {
+        // Only `.unwrap()` calls match — a bare ident or a call with
+        // arguments does not.
+        let src = "fn f() { let unwrap = 1; g(unwrap); }\n";
+        assert!(run("crates/graph/src/io.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Workspace traversal: find the `.rs` files simcheck polices.
+//!
+//! Scope is deliberate, not incidental:
+//!
+//! * **Scanned:** `crates/**`, `src/**`, `tests/**`, `examples/**` —
+//!   everything this workspace's authors wrote.
+//! * **Skipped:** `vendor/**` (offline stand-ins for third-party crates;
+//!   not ours to lint), `target/`, hidden directories (`.git`, …), and
+//!   any directory named `fixtures` (the analyzer's own test corpus is
+//!   *intentionally* full of violations).
+//!
+//! Files are returned sorted by workspace-relative path so every scan —
+//! and therefore every report and baseline — is deterministic. The
+//! analyzer practices what it preaches.
+
+use crate::rules::{all_rules, analyze_file, Diagnostic};
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Top-level directories under the workspace root that are scanned.
+const ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Directory names that are never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Lists every in-scope `.rs` file under `root`, as workspace-relative
+/// paths with `/` separators, sorted.
+pub fn source_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(Path::to_path_buf).unwrap_or(p))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans the whole workspace under `root`: lexes every in-scope file,
+/// runs every rule, applies suppressions, and returns the surviving
+/// diagnostics sorted by (path, line, rule).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let rules = all_rules();
+    let mut out = Vec::new();
+    for rel in source_paths(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        let file = SourceFile::new(rel_str, &source);
+        analyze_file(&file, &rules, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_list_covers_vendor_fixtures_and_hidden_dirs() {
+        for name in ["vendor", "target", "fixtures", ".git", ".cargo"] {
+            assert!(skip_dir(name), "{name} should be skipped");
+        }
+        for name in ["crates", "src", "io", "rules"] {
+            assert!(!skip_dir(name), "{name} should be scanned");
+        }
+    }
+
+    #[test]
+    fn workspace_scan_finds_this_crate_but_not_vendor() {
+        // CARGO_MANIFEST_DIR = crates/analysis → workspace root is ../..
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let paths = source_paths(&root).unwrap();
+        let as_str: Vec<String> = paths
+            .iter()
+            .map(|p| p.to_string_lossy().replace(std::path::MAIN_SEPARATOR, "/"))
+            .collect();
+        assert!(as_str.iter().any(|p| p == "crates/analysis/src/scan.rs"));
+        assert!(!as_str.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!as_str.iter().any(|p| p.contains("/fixtures/")));
+        let mut sorted = as_str.clone();
+        sorted.sort();
+        assert_eq!(as_str, sorted, "scan order must be deterministic");
+    }
+}

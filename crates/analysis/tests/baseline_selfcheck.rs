@@ -1,0 +1,76 @@
+//! The committed ratchet baseline must equal a fresh workspace scan.
+//!
+//! This is the test-side twin of the CI `static-analysis` job: it fails
+//! when new debt appears (regression) *and* when debt was burned down
+//! without ratcheting the baseline (stale freeze) — the baseline may
+//! never drift from reality in either direction.
+
+use simrank_analysis::baseline::Baseline;
+use simrank_analysis::rules::all_rules;
+use simrank_analysis::scan::scan_workspace;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/analysis → workspace root.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn committed_baseline_equals_fresh_scan() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("analysis_baseline.txt"))
+        .expect("committed analysis_baseline.txt");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    let diags = scan_workspace(root).expect("workspace scan");
+
+    let cmp = baseline.compare(&diags);
+    assert!(
+        cmp.regressions.is_empty(),
+        "unbaselined diagnostics (fix or suppress with a reason):\n{}",
+        cmp.regressions
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        cmp.improvements.is_empty(),
+        "baseline is stale — debt was burned down, ratchet it: \
+         `cargo run -p simrank_analysis --bin simcheck -- --write-baseline`\n{:?}",
+        cmp.improvements
+    );
+}
+
+#[test]
+fn baseline_only_freezes_known_rules() {
+    let text = std::fs::read_to_string(workspace_root().join("analysis_baseline.txt"))
+        .expect("committed analysis_baseline.txt");
+    let known: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = line.split_whitespace().nth(1).expect("rule field");
+        assert!(known.contains(&rule), "unknown rule {rule:?} in baseline");
+    }
+}
+
+#[test]
+fn baseline_only_freezes_ratchet_severity_debt() {
+    // Error-severity rules must be fixed or suppressed at the site, never
+    // frozen: the baseline is for warning-level debt (panic-in-library).
+    let text = std::fs::read_to_string(workspace_root().join("analysis_baseline.txt"))
+        .expect("committed analysis_baseline.txt");
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = line.split_whitespace().nth(1).expect("rule field");
+        assert_eq!(
+            rule, "panic-in-library",
+            "error-severity debt may not be frozen in the baseline"
+        );
+    }
+}

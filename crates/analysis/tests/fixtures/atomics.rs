@@ -1,0 +1,34 @@
+//@path crates/core/src/fixture_atomics.rs
+//! Fixture: `atomic-ordering` positives and negatives.
+
+fn bare_relaxed(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn trailing_justification(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // relaxed: stat counter, advisory reads only
+}
+
+fn block_justification(c: &AtomicU64) {
+    // relaxed: monotone counter published after the writer's release
+    // store; readers that need a stable value synchronize on the join
+    // barrier, so nothing orders on this access.
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn out_of_reach(c: &AtomicU64) {
+    // relaxed: too far away to cover the site below
+    let _pad = 0;
+    let _pad = 0;
+    let _pad = 0;
+    c.load(Ordering::Relaxed);
+}
+
+fn seqcst_is_challenged(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+fn acquire_release_are_fine(v: &AtomicUsize) {
+    v.store(1, Ordering::Release);
+    let _ = v.load(Ordering::Acquire);
+}

@@ -1,0 +1,18 @@
+//@path crates/core/src/fixture_hygiene.rs
+//! Fixture: `suppression-hygiene` — malformed or unjustified suppressions.
+
+// simcheck: allow(nondet-iteration)
+fn reasonless_suppression(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+// simcheck: allow(no-such-rule) — the rule id must exist
+fn unknown_rule() {}
+
+// simcheck: allow(nondet-iteration — unclosed paren
+fn malformed_marker() {}
+
+fn suppressed_ok(v: Option<u32>) -> u32 {
+    // simcheck: allow(panic-in-library) — a reasoned suppression is honoured
+    v.unwrap()
+}

@@ -1,0 +1,39 @@
+//@path crates/core/src/fixture_locks.rs
+//! Fixture: `lock-discipline` positives and negatives.
+//!
+//! Hierarchy (outermost first): cache shards (1) → store RwLock (2) →
+//! frontend Mutex (3). Acquiring a lock whose rank is ≤ a held rank
+//! inverts the hierarchy.
+
+fn inversion_store_then_shard(store: &RwLock<Store>, shard: &Mutex<Shard>) {
+    let published = store.read();
+    let _guard = shard.lock();
+    drop(published);
+}
+
+fn correct_order_is_fine(shard: &Mutex<Shard>, store: &RwLock<Store>) {
+    let _s = shard.lock();
+    let _p = store.read();
+}
+
+fn send_under_lock(queue: &Mutex<Q>, tx: &Sender<u32>) {
+    let _q = queue.lock();
+    tx.send(1);
+}
+
+fn try_send_is_exempt(queue: &Mutex<Q>, tx: &Sender<u32>) {
+    let _q = queue.lock();
+    tx.try_send(1);
+}
+
+fn drop_releases(store: &RwLock<Store>, shard: &Mutex<Shard>) {
+    let published = store.read();
+    drop(published);
+    let _guard = shard.lock();
+}
+
+fn temporary_guard_dies_at_semicolon(store: &RwLock<Store>, shard: &Mutex<Shard>) {
+    let len = store.read().unwrap().len();
+    let _guard = shard.lock();
+    let _ = len;
+}

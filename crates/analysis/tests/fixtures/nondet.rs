@@ -1,0 +1,31 @@
+//@path crates/core/src/fixture_nondet.rs
+//! Fixture: `nondet-iteration` positives and negatives.
+
+use simrank_common::{FxHashMap, FxHashSet};
+
+struct State {
+    scores: FxHashMap<u32, f64>,
+    // simcheck: allow(nondet-iteration) — keyed membership probes only.
+    seen: FxHashSet<u32>,
+}
+
+fn flagged() -> HashMap<u32, f64> {
+    HashMap::new()
+}
+
+fn also_flagged(s: &HashSet<u32>) -> usize {
+    s.len()
+}
+
+fn strings_and_docs_do_not_count() {
+    // A HashMap mentioned in a comment is fine.
+    let _ = "HashMap in a string is fine too";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = FxHashMap::<u32, u32>::default();
+    }
+}

@@ -1,0 +1,41 @@
+//@path crates/core/src/fixture_panics.rs
+//! Fixture: `panic-in-library` positives and negatives.
+
+fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn expects(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+fn macros(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),
+        1 => unreachable!(),
+        2 => todo!(),
+        _ => x,
+    }
+}
+
+fn proven_unreachable(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        return 0;
+    }
+    // simcheck: allow(panic-in-library) — unreachable: emptiness checked
+    // on the line above.
+    *v.last().unwrap()
+}
+
+fn asserts_are_not_panic_debt(x: u32) {
+    assert!(x > 0, "asserts state invariants, they are not debt");
+    debug_assert_eq!(x % 2, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwraps_are_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,96 @@
+//! Golden-diagnostics test over the fixture corpus.
+//!
+//! Each `tests/fixtures/*.rs` file is analysed under the pretend path on
+//! its first line (`//@path crates/...`), so path-sensitive rules see the
+//! fixture as answer-affecting library code. The rendered diagnostics must
+//! match the committed `*.expected` file byte for byte.
+//!
+//! To regenerate after an intentional rule change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p simrank_analysis --test fixtures_golden
+//! ```
+
+use simrank_analysis::rules::{all_rules, analyze_file};
+use simrank_analysis::source::SourceFile;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Analyses one fixture and renders its diagnostics, one per line.
+fn render(fixture: &Path) -> String {
+    let src = std::fs::read_to_string(fixture)
+        .unwrap_or_else(|e| panic!("read {}: {e}", fixture.display()));
+    let first = src.lines().next().unwrap_or_default();
+    let pretend = first
+        .strip_prefix("//@path ")
+        .unwrap_or_else(|| panic!("{}: first line must be `//@path <path>`", fixture.display()))
+        .trim();
+    let file = SourceFile::new(pretend, &src);
+    let mut diags = Vec::new();
+    analyze_file(&file, &all_rules(), &mut diags);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    let mut out = String::new();
+    for d in &diags {
+        writeln!(out, "{d}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_golden_diagnostics() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut fixtures: Vec<PathBuf> = std::fs::read_dir(fixture_dir())
+        .expect("fixture dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(fixtures.len() >= 5, "fixture corpus shrank: {fixtures:?}");
+
+    let mut failures = Vec::new();
+    for fixture in &fixtures {
+        let actual = render(fixture);
+        let expected_path = fixture.with_extension("expected");
+        if update {
+            std::fs::write(&expected_path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                expected_path.display()
+            )
+        });
+        if actual != expected {
+            failures.push(format!(
+                "== {} ==\n--- expected ---\n{expected}--- actual ---\n{actual}",
+                fixture.file_name().unwrap().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatch (UPDATE_GOLDEN=1 regenerates):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_fixture_exercises_at_least_one_diagnostic() {
+    // A fixture that stops producing diagnostics is dead weight — either
+    // a rule regressed or the fixture no longer tests anything.
+    for fixture in std::fs::read_dir(fixture_dir()).expect("fixture dir") {
+        let p = fixture.expect("dir entry").path();
+        if p.extension().is_some_and(|x| x == "rs") {
+            assert!(
+                !render(&p).is_empty(),
+                "{} produced no diagnostics",
+                p.display()
+            );
+        }
+    }
+}

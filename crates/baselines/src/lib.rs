@@ -17,6 +17,7 @@
 //! evaluation harness drives. Fidelity notes and deliberate simplifications
 //! are documented per module and in `DESIGN.md` §2.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;

@@ -12,6 +12,7 @@
 //! `SIMRANK_QUERY_BUDGET_SECS`, `SIMRANK_FRESH=1` (ignore the results
 //! cache), `SIMRANK_DATASETS=a,b` (restrict datasets).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;

@@ -4,6 +4,9 @@
 //! the Rust compiler (public domain). It is not HashDoS-resistant, which is
 //! fine here: keys are internal node ids, never attacker-controlled input.
 
+// simcheck: allow-file(nondet-iteration) — definition site of the
+// fixed-seed Fx wrappers; the hazard lives at use sites, which are
+// policed individually.
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

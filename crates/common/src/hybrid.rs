@@ -42,6 +42,9 @@ enum Backend {
     /// belongs to `touched[i]`, so iteration walks two parallel arrays in
     /// first-touch order with no hash probes.
     Sparse {
+        // simcheck: allow(nondet-iteration) — key → index map; iteration
+        // always walks the parallel touched/values arrays in first-touch
+        // order, never this map.
         slots: FxHashMap<NodeId, u32>,
         values: Vec<f64>,
     },
@@ -79,6 +82,8 @@ impl HybridMap {
             dense_at,
             touched: Vec::new(),
             backend: Backend::Sparse {
+                // simcheck: allow(nondet-iteration) — empty constructor
+                // for the slot map above; never iterated.
                 slots: FxHashMap::default(),
                 values: Vec::new(),
             },

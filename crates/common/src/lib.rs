@@ -26,6 +26,7 @@
 //!   with O(1) logical clear; the building block of the reusable per-query
 //!   workspaces that let a steady-state query loop allocate nothing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hash;

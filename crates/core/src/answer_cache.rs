@@ -161,6 +161,8 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct Shard {
+    // simcheck: allow(nondet-iteration) — keyed lookups/removals only;
+    // the CLOCK and invalidation sweeps walk the slots Vec, never this.
     map: FxHashMap<CacheKey, usize>,
     slots: Vec<Option<Entry>>,
     hand: usize,
@@ -258,6 +260,7 @@ impl AnswerCache {
             .lock()
             .unwrap_or_else(|p| p.into_inner());
         let Some(&idx) = shard.map.get(key) else {
+            // relaxed: monotone stat counter, advisory reads only.
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
@@ -272,6 +275,7 @@ impl AnswerCache {
                 stale_by,
                 top: entry.top.clone(),
             };
+            // relaxed: monotone stat counter, advisory reads only.
             self.hits.fetch_add(1, Ordering::Relaxed);
             Some(hit)
         } else {
@@ -279,6 +283,7 @@ impl AnswerCache {
             // notified us) — drop lazily and miss.
             shard.slots[idx] = None;
             shard.map.remove(key);
+            // relaxed: monotone stat counter, advisory reads only.
             self.misses.fetch_add(1, Ordering::Relaxed);
             None
         }
@@ -313,6 +318,7 @@ impl AnswerCache {
                 .expect("map points at a live slot");
             if existing.computed_epoch < computed_epoch {
                 *existing = entry;
+                // relaxed: monotone stat counter, advisory reads only.
                 self.insertions.fetch_add(1, Ordering::Relaxed);
             }
             return;
@@ -333,6 +339,7 @@ impl AnswerCache {
                     Some(e) => {
                         let victim = e.key;
                         shard.map.remove(&victim);
+                        // relaxed: monotone stat counter, advisory only.
                         self.evictions.fetch_add(1, Ordering::Relaxed);
                         break hand;
                     }
@@ -342,6 +349,7 @@ impl AnswerCache {
         };
         shard.slots[idx] = Some(entry);
         shard.map.insert(key, idx);
+        // relaxed: monotone stat counter, advisory reads only.
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -375,6 +383,7 @@ impl AnswerCache {
                         entry.valid_epoch = epoch;
                         continue;
                     }
+                    // relaxed: monotone stat counter, advisory only.
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
                 }
                 // Invalidated now, or left behind by an earlier publish:
@@ -390,12 +399,15 @@ impl AnswerCache {
 
     /// A snapshot of the hit/miss/evict/invalidate counters.
     pub fn stats(&self) -> CacheStats {
+        // relaxed: monotone stat counters; a snapshot is inherently racy
+        // and advisory, no other memory depends on these values.
+        let count = |c: &AtomicU64| c.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
+            hits: count(&self.hits),
+            misses: count(&self.misses),
+            insertions: count(&self.insertions),
+            evictions: count(&self.evictions),
+            invalidations: count(&self.invalidations),
         }
     }
 }

@@ -87,6 +87,8 @@ impl SimPush {
                     let mut ws = QueryWorkspace::new();
                     let mut mine = Vec::new();
                     loop {
+                        // relaxed: the fetch_add's atomicity alone
+                        // partitions indices; queries is immutable here.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= queries.len() {
                             return mine;

@@ -460,11 +460,16 @@ impl Frontend {
     /// so the high-water mark can be recorded on *accepted* sends only
     /// (a rejected probe must not inflate it).
     fn gauge_up(&self) -> usize {
+        // relaxed: advisory gauge — admission is enforced by the bounded
+        // channel itself, nothing synchronizes on this value.
         self.counters.queue_depth.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn on_accept(&self, slot: &Arc<Slot>, depth: usize) -> Ticket {
+        // relaxed: monotone stat counter, read only by advisory stats
+        // snapshots.
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        // relaxed: monotone high-water mark, advisory reads only.
         self.counters
             .max_queue_depth
             .fetch_max(depth, Ordering::Relaxed);
@@ -472,6 +477,8 @@ impl Frontend {
     }
 
     fn on_reject(&self) -> SubmitError {
+        // relaxed: advisory gauge rollback + monotone stat counter; no
+        // other memory depends on either value.
         self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.counters.rejected.fetch_add(1, Ordering::Relaxed);
         SubmitError::Overloaded
@@ -508,6 +515,7 @@ impl Frontend {
             Ok(()) => Ok(self.on_accept(&slot, depth)),
             Err(TrySendError::Full(_)) => Err(self.on_reject()),
             Err(TrySendError::Disconnected(_)) => {
+                // relaxed: advisory gauge rollback (see gauge_up).
                 self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 Err(SubmitError::ShutDown)
             }
@@ -529,6 +537,7 @@ impl Frontend {
             Ok(()) => Ok(self.on_accept(&slot, depth)),
             Err(channel::SendTimeoutError::Timeout(_)) => Err(self.on_reject()),
             Err(channel::SendTimeoutError::Disconnected(_)) => {
+                // relaxed: advisory gauge rollback (see gauge_up).
                 self.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 Err(SubmitError::ShutDown)
             }
@@ -537,6 +546,7 @@ impl Frontend {
 
     /// Requests currently queued (racy gauge; exact only at quiescence).
     pub fn queue_depth(&self) -> usize {
+        // relaxed: racy advisory gauge, exactly as documented above.
         self.counters.queue_depth.load(Ordering::Relaxed)
     }
 
@@ -601,15 +611,19 @@ impl Frontend {
 
     /// A snapshot of the admission/service counters.
     pub fn stats(&self) -> FrontendStats {
+        // relaxed: monotone stat counters + advisory gauges; a snapshot
+        // is inherently racy, no other memory depends on these values.
+        let count = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let gauge = |c: &AtomicUsize| c.load(Ordering::Relaxed);
         FrontendStats {
-            accepted: self.counters.accepted.load(Ordering::Relaxed),
-            rejected: self.counters.rejected.load(Ordering::Relaxed),
-            answered: self.counters.answered.load(Ordering::Relaxed),
-            deadline_misses: self.counters.deadline_misses.load(Ordering::Relaxed),
-            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
-            queue_depth: self.counters.queue_depth.load(Ordering::Relaxed),
-            max_queue_depth: self.counters.max_queue_depth.load(Ordering::Relaxed),
+            accepted: count(&self.counters.accepted),
+            rejected: count(&self.counters.rejected),
+            answered: count(&self.counters.answered),
+            deadline_misses: count(&self.counters.deadline_misses),
+            cache_hits: count(&self.counters.cache_hits),
+            cache_misses: count(&self.counters.cache_misses),
+            queue_depth: gauge(&self.counters.queue_depth),
+            max_queue_depth: gauge(&self.counters.max_queue_depth),
         }
     }
 
@@ -663,11 +677,13 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
     // worker reuses it instead of paying the read lock + `Arc` clone.
     let mut held: Option<(Arc<S::View>, u64)> = None;
     while let Ok(request) = rx.recv() {
+        // relaxed: advisory gauge decrement (see gauge_up).
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let dequeued_at = Instant::now();
         let queue_wait = dequeued_at.duration_since(request.submitted_at);
         if let Some(deadline) = request.deadline {
             if dequeued_at > deadline {
+                // relaxed: monotone stat counter, advisory reads only.
                 counters.deadline_misses.fetch_add(1, Ordering::Relaxed);
                 request.slot.fill(QueryOutcome::DeadlineMissed {
                     node: request.node,
@@ -691,6 +707,7 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
                 // Served without touching the store: no snapshot, no
                 // query. The response's epoch is the one the answer was
                 // *computed* at, preserving the replay contract.
+                // relaxed: monotone stat counters, advisory reads only.
                 counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 counters.answered.fetch_add(1, Ordering::Relaxed);
                 request.slot.fill(QueryOutcome::Answered(FrontendResponse {
@@ -702,6 +719,7 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
                 }));
                 continue;
             }
+            // relaxed: monotone stat counter, advisory reads only.
             counters.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
         if !matches!(&held, Some((_, version)) if *version == hint) {
@@ -724,6 +742,7 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
         if let (Some(cache), Some(support)) = (cache.as_deref(), support) {
             cache.insert(key, epoch, support, top.clone());
         }
+        // relaxed: monotone stat counter, advisory reads only.
         counters.answered.fetch_add(1, Ordering::Relaxed);
         request.slot.fill(QueryOutcome::Answered(FrontendResponse {
             node: request.node,

@@ -27,6 +27,8 @@ use simrank_common::FxHashMap;
 /// — same values, bit for bit, but no per-query allocation.
 pub fn compute_gammas(
     att: &AttentionIndex,
+    // simcheck: allow(nondet-iteration) — rows are bucketed and sorted
+    // by id before any order-sensitive arithmetic.
     att_hit: &[FxHashMap<u32, f64>],
     max_level: usize,
 ) -> Vec<f64> {
@@ -40,6 +42,8 @@ pub fn compute_gammas(
 /// `ws.gammas()` holds the values, indexed like `att.nodes`.
 pub fn compute_gammas_with(
     att: &AttentionIndex,
+    // simcheck: allow(nondet-iteration) — rows are bucketed and sorted
+    // by id before any order-sensitive arithmetic.
     att_hit: &[FxHashMap<u32, f64>],
     max_level: usize,
     ws: &mut GammaScratch,

@@ -84,6 +84,8 @@ impl AttentionIndex {
 /// Hitting probabilities `h̃` from each attention node to every attention
 /// node on a strictly higher level: `att_hit[src][tgt] = h̃^(Δℓ)(src, tgt)`
 /// where `Δℓ = level(tgt) − level(src) ≥ 1`.
+// simcheck: allow(nondet-iteration) — rows are filled by keyed inserts
+// and consumed keyed (γ's ρ lookups) or sorted into id order first.
 pub type AttentionHitting = Vec<FxHashMap<u32, f64>>;
 
 /// Runs Algorithm 3 with a fresh scratch (cold path), returning the

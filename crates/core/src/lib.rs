@@ -71,6 +71,7 @@
 //! per-request fresh snapshots, and per-query deadlines whose expirations
 //! are dropped at dequeue and counted — see the [`frontend`] module docs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answer_cache;

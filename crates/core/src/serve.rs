@@ -200,6 +200,9 @@ pub fn serve_mixed(
                 let mut ws = QueryWorkspace::new();
                 let mut mine = Vec::new();
                 loop {
+                    // relaxed: the fetch_add's atomicity alone partitions
+                    // indices between readers; the queries slice is
+                    // immutable for the whole scope.
                     let i = next_query.fetch_add(1, Ordering::Relaxed);
                     if i >= queries.len() {
                         return mine;
@@ -423,6 +426,8 @@ pub fn serve_sharded<P: Partitioner + Clone + Sync>(
                         compacted: info.compacted,
                         latency: t.elapsed(),
                     });
+                    // relaxed: plain counter; read only after the
+                    // scope join below, which orders it.
                     effective.fetch_add(applied, Ordering::Relaxed);
                     // Cut protocol: wait for every shard to publish batch
                     // g, let exactly one thread refresh the composite,
@@ -451,6 +456,9 @@ pub fn serve_sharded<P: Partitioner + Clone + Sync>(
                 let mut ws = QueryWorkspace::new();
                 let mut mine = Vec::new();
                 loop {
+                    // relaxed: the fetch_add's atomicity alone partitions
+                    // indices between readers; the queries slice is
+                    // immutable for the whole scope.
                     let i = next_query.fetch_add(1, Ordering::Relaxed);
                     if i >= queries.len() {
                         return mine;
@@ -492,6 +500,7 @@ pub fn serve_sharded<P: Partitioner + Clone + Sync>(
         wall,
         update_wall,
         final_cut: store.cut(),
+        // relaxed: counter read after the scope join ordered every add.
         effective_updates: effective.load(Ordering::Relaxed),
         compactions: store.compactions() - compactions_before,
         compaction_time: store.compaction_time() - compaction_time_before,

@@ -133,6 +133,8 @@ impl SourcePushScratch {
 pub struct HittingScratch {
     /// `att_hit[id]` rows; only the first [`live`](Self::att_hit) entries
     /// belong to the current query, the tail is spare capacity.
+    // simcheck: allow(nondet-iteration) — rows are filled by keyed
+    // inserts and consumed keyed or sorted by id first (see gamma.rs).
     pub(crate) att_hit: Vec<FxHashMap<u32, f64>>,
     pub(crate) live: usize,
     pub(crate) rows: RowFrontier,
@@ -146,6 +148,7 @@ impl HittingScratch {
             row.clear();
         }
         while self.att_hit.len() < len {
+            // simcheck: allow(nondet-iteration) — empty row constructor.
             self.att_hit.push(FxHashMap::default());
         }
         self.live = len;
@@ -157,6 +160,7 @@ impl HittingScratch {
     /// `att_hit()[src][tgt] = h̃^(Δℓ)(src, tgt)` for targets on strictly
     /// higher levels (same layout as
     /// [`AttentionHitting`](crate::hitting::AttentionHitting)).
+    // simcheck: allow(nondet-iteration) — borrow of the keyed rows above.
     pub fn att_hit(&self) -> &[FxHashMap<u32, f64>] {
         &self.att_hit[..self.live]
     }
@@ -172,9 +176,14 @@ impl HittingScratch {
 /// `rows` and are reused in place on the next query.
 #[derive(Default)]
 pub(crate) struct RowFrontier {
+    // simcheck: allow(nondet-iteration) — node → row-index map; iter()
+    // walks `nodes` in first-touch order, never this map.
     slot: FxHashMap<NodeId, u32>,
     nodes: Vec<NodeId>,
     /// `rows[..nodes.len()]` are live; the tail holds cleared spares.
+    // simcheck: allow(nondet-iteration) — per-row accumulation is a
+    // distinct-key `entry().or_insert(0.0) +=` fold, order-free per key;
+    // cross-row order comes from `nodes`.
     rows: Vec<FxHashMap<u32, f64>>,
 }
 
@@ -187,17 +196,21 @@ impl RowFrontier {
         self.slot.clear();
     }
 
+    // simcheck: allow(nondet-iteration) — keyed lookup into `slot`.
     pub(crate) fn get(&self, v: NodeId) -> Option<&FxHashMap<u32, f64>> {
         self.slot.get(&v).map(|&i| &self.rows[i as usize])
     }
 
     /// The row for `v`, created empty (from a spare when available) on first
     /// touch.
+    // simcheck: allow(nondet-iteration) — keyed entry() insert; the row
+    // index is recorded in first-touch order via `nodes`.
     pub(crate) fn row_mut(&mut self, v: NodeId) -> &mut FxHashMap<u32, f64> {
         let Self { slot, nodes, rows } = self;
         let idx = *slot.entry(v).or_insert_with(|| {
             let i = nodes.len();
             if rows.len() == i {
+                // simcheck: allow(nondet-iteration) — empty row constructor.
                 rows.push(FxHashMap::default());
             }
             nodes.push(v);
@@ -207,6 +220,8 @@ impl RowFrontier {
     }
 
     /// Iterates `(node, row)` in first-touch order.
+    // simcheck: allow(nondet-iteration) — iteration is over `nodes`
+    // (first-touch order); rows are only read keyed downstream.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &FxHashMap<u32, f64>)> {
         self.nodes.iter().zip(&self.rows).map(|(&v, row)| (v, row))
     }
@@ -216,6 +231,8 @@ impl RowFrontier {
 #[derive(Default)]
 pub struct GammaScratch {
     pub(crate) gammas: Vec<f64>,
+    // simcheck: allow(nondet-iteration) — keyed get/insert only; the γ
+    // fold iterates sorted `by_i` rows, never this map.
     pub(crate) rho: FxHashMap<u32, f64>,
     pub(crate) by_i: Vec<Vec<(u32, f64)>>,
 }

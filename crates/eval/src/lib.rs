@@ -22,6 +22,7 @@
 //! * [`report`] — plain-text table/CSV emitters used by the `fig*`/`table*`
 //!   binaries.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datasets;

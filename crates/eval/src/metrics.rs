@@ -12,7 +12,7 @@ pub fn top_k_nodes(scores: &[f64], k: usize, exclude: NodeId) -> Vec<NodeId> {
         .filter(|&(v, &s)| v as NodeId != exclude && s > 0.0)
         .map(|(v, &s)| (v as NodeId, s))
         .collect();
-    entries.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    entries.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     entries.truncate(k);
     entries.into_iter().map(|(v, _)| v).collect()
 }
@@ -24,7 +24,7 @@ pub fn top_k_sparse(entries: &[(NodeId, f64)], k: usize, exclude: NodeId) -> Vec
         .filter(|&&(v, s)| v != exclude && s > 0.0)
         .copied()
         .collect();
-    e.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    e.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     e.truncate(k);
     e.into_iter().map(|(v, _)| v).collect()
 }

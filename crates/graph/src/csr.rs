@@ -133,7 +133,8 @@ impl CsrGraph {
         if self.in_offsets.len() != n + 1 {
             return Err("offset array length mismatch".into());
         }
-        if *self.out_offsets.last().unwrap() != m || *self.in_offsets.last().unwrap() != m {
+        if self.out_offsets.last().copied() != Some(m) || self.in_offsets.last().copied() != Some(m)
+        {
             return Err("offset arrays do not end at m".into());
         }
         for offs in [&self.out_offsets, &self.in_offsets] {

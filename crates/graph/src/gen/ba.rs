@@ -41,6 +41,8 @@ pub fn barabasi_albert(n: usize, k: usize, symmetrize: bool, seed: u64) -> CsrGr
 
     for v in (k + 1)..n {
         let v = v as NodeId;
+        // simcheck: allow(nondet-iteration) — dedup membership probes only;
+        // the drain below sorts before anything order-sensitive happens.
         let mut chosen = simrank_common::FxHashSet::default();
         while chosen.len() < k {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
@@ -48,6 +50,11 @@ pub fn barabasi_albert(n: usize, k: usize, symmetrize: bool, seed: u64) -> CsrGr
                 chosen.insert(t);
             }
         }
+        // Drain in sorted order: `endpoints` feeds future degree-biased
+        // sampling, so set iteration order would otherwise leak into the
+        // generated graph.
+        let mut chosen: Vec<NodeId> = chosen.into_iter().collect();
+        chosen.sort_unstable();
         for &t in &chosen {
             builder.add_edge(v, t);
             endpoints.push(v);

@@ -199,19 +199,21 @@ mod tests {
     use crate::gen::shapes;
 
     #[test]
-    fn edge_list_round_trip() {
+    fn edge_list_round_trip() -> Result<(), IoError> {
         let g = shapes::jeh_widom();
         let mut buf = Vec::new();
-        write_edge_list(&g, &mut buf).unwrap();
-        let parsed = read_edge_list(&buf[..]).unwrap().build();
+        write_edge_list(&g, &mut buf)?;
+        let parsed = read_edge_list(&buf[..])?.build();
         assert_eq!(parsed, g);
+        Ok(())
     }
 
     #[test]
-    fn edge_list_skips_comments_and_blanks() {
+    fn edge_list_skips_comments_and_blanks() -> Result<(), IoError> {
         let text = "# comment\n% other comment\n\n0 1\n1 2\n";
-        let g = read_edge_list(text.as_bytes()).unwrap().build();
+        let g = read_edge_list(text.as_bytes())?.build();
         assert_eq!(g.num_edges(), 2);
+        Ok(())
     }
 
     #[test]
@@ -223,12 +225,13 @@ mod tests {
     }
 
     #[test]
-    fn binary_round_trip() {
+    fn binary_round_trip() -> Result<(), IoError> {
         let g = crate::gen::gnm(200, 1000, 5);
         let bytes = to_binary(&g);
-        let back = from_binary(bytes).unwrap();
+        let back = from_binary(bytes)?;
         assert_eq!(back, g);
         assert!(back.validate().is_ok());
+        Ok(())
     }
 
     #[test]
@@ -315,23 +318,57 @@ mod tests {
         }
         // The exact right size parses (n=1, m=0 → one offset pair, no
         // targets; all-zero offsets are valid for an empty graph).
-        assert_eq!(from_binary(crafted(1, 0, 16)).unwrap(), CsrGraph::empty(1));
+        match from_binary(crafted(1, 0, 16)) {
+            Ok(g) => assert_eq!(g, CsrGraph::empty(1)),
+            Err(e) => panic!("exact-size payload must parse: {e}"),
+        }
     }
 
     #[test]
-    fn file_round_trip() {
+    fn file_round_trip() -> Result<(), IoError> {
         let dir = std::env::temp_dir().join("simrank-io-test");
         let path = dir.join("g.bin");
         let g = shapes::grid(3, 3);
-        save_binary(&g, &path).unwrap();
-        let back = load_binary(&path).unwrap();
+        save_binary(&g, &path)?;
+        let back = load_binary(&path)?;
         assert_eq!(back, g);
         std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]
-    fn empty_graph_round_trips() {
+    fn empty_graph_round_trips() -> Result<(), IoError> {
         let g = CsrGraph::empty(5);
-        assert_eq!(from_binary(to_binary(&g)).unwrap(), g);
+        assert_eq!(from_binary(to_binary(&g))?, g);
+        Ok(())
+    }
+
+    #[test]
+    fn load_binary_missing_file_is_an_io_error() {
+        let path = std::env::temp_dir().join("simrank-io-test-does-not-exist.bin");
+        let err = load_binary(&path).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)), "{err}");
+        assert!(err.to_string().starts_with("io error:"), "{err}");
+    }
+
+    #[test]
+    fn read_edge_list_missing_file_is_an_io_error() {
+        let path = std::env::temp_dir().join("simrank-io-test-no-such.txt");
+        let err = read_edge_list_file(&path).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn edge_list_propagates_reader_failures() {
+        /// Reader whose first read fails, modelling a mid-stream IO fault.
+        struct FailingReader;
+        impl Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("injected fault"))
+            }
+        }
+        let err = read_edge_list(FailingReader).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)), "{err}");
+        assert!(err.to_string().contains("injected fault"), "{err}");
     }
 }

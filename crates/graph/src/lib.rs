@@ -29,6 +29,7 @@
 //! * [`io`] — whitespace edge-list text format (SNAP-style, `#` comments)
 //!   and a compact binary snapshot format for dataset caching.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

@@ -37,8 +37,12 @@ use std::sync::Arc;
 pub struct DeltaOverlay {
     base: Arc<CsrGraph>,
     /// Materialised *current* out-lists of touched nodes (sorted).
+    // simcheck: allow(nondet-iteration) — reads are keyed; the only
+    // iterations are touched_iter (consumers count or sort) and the
+    // order-free logical_bytes sum.
     outs: FxHashMap<NodeId, Vec<NodeId>>,
     /// Materialised *current* in-lists of touched nodes (sorted).
+    // simcheck: allow(nondet-iteration) — same argument as `outs` above.
     ins: FxHashMap<NodeId, Vec<NodeId>>,
     /// Current edge count (base ± applied deltas).
     m: usize,
@@ -61,7 +65,10 @@ impl DeltaOverlay {
         let m = base.num_edges();
         Self {
             base,
+            // simcheck: allow(nondet-iteration) — empty constructors for
+            // the keyed delta lists above; see the field arguments.
             outs: FxHashMap::default(),
+            // simcheck: allow(nondet-iteration) — as for `outs`.
             ins: FxHashMap::default(),
             m,
             churn: 0,
@@ -179,12 +186,16 @@ impl DeltaOverlay {
             .outs
             .entry(src)
             .or_insert_with(|| base.out_neighbors(src).to_vec());
+        // simcheck: allow(panic-in-library) — unreachable: the has_edge
+        // guard above proves `dst` is in the (sorted) out-list.
         let pos = outs.binary_search(&dst).unwrap();
         outs.remove(pos);
         let ins = self
             .ins
             .entry(dst)
             .or_insert_with(|| base.in_neighbors(dst).to_vec());
+        // simcheck: allow(panic-in-library) — unreachable: an edge in the
+        // out-list is in the mirror in-list (add/remove update both).
         let ipos = ins.binary_search(&src).unwrap();
         ins.remove(ipos);
         self.m -= 1;

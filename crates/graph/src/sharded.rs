@@ -376,9 +376,13 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
     }
 
     /// Logical edges currently applied (published or not; cross-shard
-    /// edges counted once).
+    /// edges counted once). Exact only at quiescence — with applies in
+    /// flight on other threads it is a racy point-in-time read.
     pub fn num_edges(&self) -> usize {
-        self.m.load(Ordering::SeqCst)
+        // relaxed: plain counter; exactness is guaranteed by the
+        // fetch-level atomicity alone, and callers that need a stable
+        // value already hold a barrier (join/commit), which orders it.
+        self.m.load(Ordering::Relaxed)
     }
 
     /// Direct read access to shard `k`'s [`GraphStore`] (for inspection;
@@ -418,6 +422,8 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
     /// [`refresh`](Self::refresh)/[`refresh_cut`](Self::refresh_cut), and
     /// never moves on shard applies or publishes alone.
     pub fn version_hint(&self) -> u64 {
+        // relaxed: a hint may lag the published cut, as documented above
+        // — staleness is bounded and benign, nothing orders on it.
         self.version.load(Ordering::Relaxed)
     }
 
@@ -460,9 +466,12 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
                 GraphUpdate::Remove(..) => shard.remove_edge(s, t),
             };
             if effective && self.partitioner.shard_of(s) == k {
+                // relaxed: plain counter of effective updates; the RMW's
+                // atomicity keeps it exact, and readers that need a
+                // stable value synchronize elsewhere (see num_edges).
                 match u {
-                    GraphUpdate::Insert(..) => self.m.fetch_add(1, Ordering::SeqCst),
-                    GraphUpdate::Remove(..) => self.m.fetch_sub(1, Ordering::SeqCst),
+                    GraphUpdate::Insert(..) => self.m.fetch_add(1, Ordering::Relaxed),
+                    GraphUpdate::Remove(..) => self.m.fetch_sub(1, Ordering::Relaxed),
                 };
                 owner_effective += 1;
             }
@@ -507,7 +516,10 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
     /// invalidation consumes. Same consistency contract as `refresh`.
     pub fn refresh_cut(&self) -> CutInfo {
         let shards: Vec<Arc<GraphSnapshot>> = self.shards.iter().map(|s| s.snapshot()).collect();
-        let m = self.m.load(Ordering::SeqCst);
+        // relaxed: the consistency contract above (all applies published
+        // before a refresh) already synchronizes the counter's writers
+        // with this read; atomicity alone keeps the value exact.
+        let m = self.m.load(Ordering::Relaxed);
         let mut touched = std::mem::take(
             &mut *self
                 .pending_touched
@@ -525,8 +537,10 @@ impl<P: Partitioner + Clone> ShardedStore<P> {
             m,
             cut,
         });
-        // Hint after the swap, while still holding the write lock, so
-        // hints advance in cut order (same rationale as GraphStore).
+        // relaxed: hint stored after the swap, while still holding the
+        // write lock, so hints advance in cut order; staleness is benign
+        // (same rationale as GraphStore) and no memory publishes through
+        // this store.
         self.version.store(cut, Ordering::Relaxed);
         drop(published);
         CutInfo { cut, touched }

@@ -243,6 +243,8 @@ impl GraphStore {
     /// the request a moment earlier. It advances by exactly 1 per
     /// [`publish`](Self::publish) — pinned by a unit test.
     pub fn version_hint(&self) -> u64 {
+        // relaxed: a hint may lag the published epoch, as documented
+        // above — staleness is bounded and benign, nothing orders on it.
         self.version.load(Ordering::Relaxed)
     }
 
@@ -340,9 +342,10 @@ impl GraphStore {
         // Swap while still holding the writer lock so epochs publish in
         // order; the write lock is held only for the pointer assignment.
         *self.published.write().unwrap_or_else(|p| p.into_inner()) = snapshot;
-        // Hint after the swap (still under the writer lock, so hints also
-        // advance in order): a reader seeing the new hint value might race
-        // an older snapshot only in the benign stale-by-one direction.
+        // relaxed: hint stored after the swap (still under the writer
+        // lock, so hints advance in order); a reader seeing the new value
+        // can race an older snapshot only in the benign stale-by-one
+        // direction — no memory is published through this store.
         self.version.store(state.epoch, Ordering::Relaxed);
         info
     }

@@ -115,6 +115,8 @@ pub fn sample_walk<G: GraphView, R: Rng + ?Sized>(
 pub struct LevelVisits {
     /// `levels[ℓ][v]` = number of sampled walks that were at `v` at step `ℓ`
     /// (level 0 is excluded: it is always the start node).
+    // simcheck: allow(nondet-iteration) — rows take keyed increments and
+    // are read via keyed gets or the order-free any() level probe.
     pub levels: Vec<FxHashMap<NodeId, u32>>,
     /// Number of walks sampled.
     pub num_walks: usize,
@@ -176,6 +178,7 @@ impl LevelVisits {
         // lowers ε between queries on one workspace) and grow as needed.
         self.levels.truncate(max_level);
         while self.levels.len() < max_level {
+            // simcheck: allow(nondet-iteration) — empty row constructor.
             self.levels.push(FxHashMap::default());
         }
         self.num_walks = num_walks;

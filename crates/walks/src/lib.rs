@@ -12,6 +12,7 @@
 //! per-worker seeds with [`simrank_common::seeds::SeedSequence`] so results
 //! are reproducible regardless of thread count.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -48,8 +48,15 @@ pub fn pairwise_simrank_mc_parallel<G: GraphView + Sync>(
                 meets
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).sum()
+        handles
+            .into_iter()
+            // simcheck: allow(panic-in-library) — deliberate propagation:
+            // a worker panic is a bug and the reduction has no partial
+            // answer to salvage, so re-raise on the caller's thread.
+            .map(|h| h.join().unwrap())
+            .sum()
     })
+    // simcheck: allow(panic-in-library) — same argument as the join above.
     .expect("worker thread panicked");
 
     total_meets as f64 / samples as f64
