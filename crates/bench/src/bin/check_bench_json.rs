@@ -111,6 +111,30 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "calibration.capacity_qps",
             "pairs",
         ]),
+        "elastic_serve" => Some(&[
+            "smoke",
+            "workload.queries",
+            "workload.updates",
+            "options.workers",
+            "options.queue_capacity",
+            "options.static_deadline_ms",
+            "calibration.requests",
+            "calibration.mean_service_ns",
+            "calibration.p99_service_ns",
+            "calibration.capacity_qps",
+            "slo.p99_ns",
+            "slo.target_sojourn_ns",
+            "slo.tick_ms",
+            "ramp",
+            "control.ticks",
+            "control.actuations",
+            "control.tightens",
+            "control.relaxes",
+            "verdict.comparison_load",
+            "verdict.controlled_holds_slo_at_high_load",
+            "verdict.static_misses_slo_at_high_load",
+            "verdict.controlled_p99_not_above_static_at_high_load",
+        ]),
         _ => None,
     }
 }
@@ -458,6 +482,68 @@ const CACHED_SMOKE_NAMED_BOUNDS: &[(&str, &[Bound])] = &[
     ),
 ];
 
+/// Required keys for every element of an `elastic_serve` snapshot's
+/// `ramp` array — the segment identity plus the full static/controlled
+/// side-by-side accounting.
+const ELASTIC_SEGMENT_KEYS: &[&str] = &[
+    "segment",
+    "load_factor",
+    "burstiness",
+    "static.requests",
+    "static.accepted",
+    "static.rejected",
+    "static.answered",
+    "static.deadline_misses",
+    "static.cancelled",
+    "static.reject_rate",
+    "static.deadline_miss_rate",
+    "static.throughput_qps",
+    "static.p50_latency_ns",
+    "static.p95_latency_ns",
+    "static.p99_latency_ns",
+    "static.slo_met",
+    "static.wall_ns",
+    "controlled.requests",
+    "controlled.accepted",
+    "controlled.rejected",
+    "controlled.answered",
+    "controlled.deadline_misses",
+    "controlled.cancelled",
+    "controlled.reject_rate",
+    "controlled.deadline_miss_rate",
+    "controlled.throughput_qps",
+    "controlled.p50_latency_ns",
+    "controlled.p95_latency_ns",
+    "controlled.p99_latency_ns",
+    "controlled.slo_met",
+    "controlled.wall_ns",
+];
+
+/// Range assertions for `elastic_serve` snapshots, applied to the whole
+/// document at both scales.
+const ELASTIC_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::at_least("options.workers", 1.0),
+    Bound::at_least("options.queue_capacity", 1.0),
+    Bound::at_least("options.static_deadline_ms", 0.001),
+    Bound::at_least("calibration.mean_service_ns", 1.0),
+    Bound::at_least("calibration.p99_service_ns", 1.0),
+    Bound::at_least("calibration.capacity_qps", 0.1),
+    Bound::at_least("slo.p99_ns", 1.0),
+    Bound::at_least("slo.target_sojourn_ns", 1.0),
+    Bound::at_least("control.ticks", 1.0),
+    Bound::at_least("ramp[*].static.answered", 1.0),
+    Bound::at_least("ramp[*].controlled.answered", 1.0),
+    Bound::at_least("ramp[*].static.throughput_qps", 0.1),
+    Bound::at_least("ramp[*].controlled.throughput_qps", 0.1),
+    Bound::at_least("ramp[*].static.p99_latency_ns", 1.0),
+    Bound::at_least("ramp[*].controlled.p99_latency_ns", 1.0),
+    Bound::between("ramp[*].static.reject_rate", 0.0, 1.0),
+    Bound::between("ramp[*].controlled.reject_rate", 0.0, 1.0),
+    Bound::between("ramp[*].static.deadline_miss_rate", 0.0, 1.0),
+    Bound::between("ramp[*].controlled.deadline_miss_rate", 0.0, 1.0),
+];
+
 /// Range assertions applied to every snapshot of a family. Each doubles
 /// as a presence check (a path resolving to nothing is a violation).
 fn family_bounds(bench: &str) -> &'static [Bound] {
@@ -468,6 +554,7 @@ fn family_bounds(bench: &str) -> &'static [Bound] {
         "frontend_serve" => FRONTEND_BOUNDS,
         "scenario_serve" => SCENARIO_BOUNDS,
         "cached_serve" => CACHED_BOUNDS,
+        "elastic_serve" => ELASTIC_BOUNDS,
         _ => &[],
     }
 }
@@ -579,6 +666,120 @@ fn check_cached_pairs(path: &str, doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates an `elastic_serve` snapshot's `ramp` array and closed-loop
+/// verdict.
+///
+/// Per-element schema first, then the PR's acceptance rule on **full**
+/// runs: every `ramp` segment offered at ≥ `verdict.comparison_load`
+/// must show the controlled run holding the p99 SLO that the static run
+/// misses, with controlled p99 no worse than static — and the emitter's
+/// own verdict booleans must agree. **Smoke** runs on CI boxes are too
+/// noisy for absolute SLO gates, so only the sign of the effect is
+/// pinned: controlled p99 at most 1.5× static at high load, and the
+/// controller must actually have tightened at least once.
+fn check_elastic_ramp(path: &str, doc: &Json) -> Result<(), String> {
+    let ramp = doc
+        .path("ramp")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: \"ramp\" must be an array"))?;
+    if ramp.is_empty() {
+        return Err(format!("{path}: \"ramp\" must be non-empty"));
+    }
+    let smoke = doc.path("smoke").and_then(Json::as_bool) == Some(true);
+    let comparison_load = doc
+        .path("verdict.comparison_load")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: verdict.comparison_load must be a number"))?;
+
+    let mut high_segments = 0usize;
+    for (i, entry) in ramp.iter().enumerate() {
+        let missing = json::missing_paths(entry, ELASTIC_SEGMENT_KEYS);
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: ramp[{i}] missing required keys {missing:?}"
+            ));
+        }
+        let segment = entry
+            .path("segment")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: ramp[{i}].segment must be a string"))?;
+        let load = entry
+            .path("load_factor")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: ramp[{i}].load_factor must be a number"))?;
+        // The bursty scenario rides along for colour but only the steady
+        // ramp segments carry the verdict, mirroring the emitter.
+        if segment != "ramp" || load < comparison_load - 1e-9 {
+            continue;
+        }
+        high_segments += 1;
+        let static_p99 = entry
+            .path("static.p99_latency_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: ramp[{i}].static.p99_latency_ns must be a number"))?;
+        let controlled_p99 = entry
+            .path("controlled.p99_latency_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| {
+                format!("{path}: ramp[{i}].controlled.p99_latency_ns must be a number")
+            })?;
+        if smoke {
+            if controlled_p99 > static_p99 * 1.5 {
+                return Err(format!(
+                    "{path}: ramp[{i}] at {load}x load: controlled p99 {controlled_p99}ns \
+                     exceeds 1.5x static p99 {static_p99}ns — the control plane is not helping"
+                ));
+            }
+            continue;
+        }
+        if controlled_p99 > static_p99 {
+            return Err(format!(
+                "{path}: ramp[{i}] at {load}x load: controlled p99 {controlled_p99}ns \
+                 exceeds static p99 {static_p99}ns"
+            ));
+        }
+        if entry.path("controlled.slo_met").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{path}: ramp[{i}] at {load}x load: controlled run misses the p99 SLO"
+            ));
+        }
+        if entry.path("static.slo_met").and_then(Json::as_bool) != Some(false) {
+            return Err(format!(
+                "{path}: ramp[{i}] at {load}x load: static run meets the p99 SLO — \
+                 the ramp is not saturating and proves nothing"
+            ));
+        }
+    }
+    if high_segments == 0 {
+        return Err(format!(
+            "{path}: no ramp segment reaches comparison_load {comparison_load}x"
+        ));
+    }
+
+    if smoke {
+        let tightens = doc
+            .path("control.tightens")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: control.tightens must be a number"))?;
+        if tightens < 1.0 {
+            return Err(format!(
+                "{path}: controller never tightened under a 2.5x overload ramp"
+            ));
+        }
+        return Ok(());
+    }
+    for flag in [
+        "verdict.controlled_holds_slo_at_high_load",
+        "verdict.static_misses_slo_at_high_load",
+        "verdict.controlled_p99_not_above_static_at_high_load",
+    ] {
+        if doc.path(flag).and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{path}: {flag} must be true on a full run"));
+        }
+    }
+    Ok(())
+}
+
 /// Designated higher-is-better throughput metrics for `--compare`.
 ///
 /// Chosen so a smoke run (tiny graph) compared against the committed full
@@ -594,6 +795,9 @@ fn throughput_metrics(bench: &str) -> Option<&'static [&'static str]> {
         "frontend_serve" => Some(&["calibration.capacity_qps"]),
         "scenario_serve" => Some(&["calibration.capacity_qps", "scenarios[*].throughput_qps"]),
         "cached_serve" => Some(&["calibration.capacity_qps", "pairs[*].cached.throughput_qps"]),
+        // Only the calibration throughput is scale-robust here: ramp
+        // segment qps is set by the offered load, not the machine.
+        "elastic_serve" => Some(&["calibration.capacity_qps"]),
         _ => None,
     }
 }
@@ -663,6 +867,9 @@ fn check_file(path: &str) -> Result<String, String> {
     }
     if bench == "cached_serve" {
         check_cached_pairs(path, &doc)?;
+    }
+    if bench == "elastic_serve" {
+        check_elastic_ramp(path, &doc)?;
     }
 
     // Range assertions: schema-valid but numerically nonsense fails too.

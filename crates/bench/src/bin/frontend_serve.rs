@@ -145,14 +145,12 @@ fn run_point(
     let frontend = Frontend::start(
         engine,
         store.clone(),
-        FrontendOptions {
-            workers: scale.workers,
-            queue_capacity: scale.queue_capacity,
-            default_deadline: Some(deadline),
-            top_k: 1,
-            synthetic_service_delay: Duration::ZERO,
-            cache: None,
-        },
+        FrontendOptions::builder()
+            .workers(scale.workers)
+            .queue_capacity(scale.queue_capacity)
+            .default_deadline(Some(deadline))
+            .top_k(1)
+            .build(),
     );
 
     // The writer paces the whole update stream across the point's
@@ -197,6 +195,7 @@ fn run_point(
                 queue_waits.push(r.queue_wait);
             }
             QueryOutcome::DeadlineMissed { queue_wait, .. } => queue_waits.push(queue_wait),
+            QueryOutcome::Cancelled { node } => unreachable!("nobody cancels in the sweep: {node}"),
             QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
         }
     }
@@ -312,14 +311,12 @@ fn main() {
     let calib_frontend = Frontend::start(
         &engine,
         calib_store,
-        FrontendOptions {
-            workers: scale.workers,
-            queue_capacity: scale.queue_capacity,
-            default_deadline: None,
-            top_k: 1,
-            synthetic_service_delay: Duration::ZERO,
-            cache: None,
-        },
+        FrontendOptions::builder()
+            .workers(scale.workers)
+            .queue_capacity(scale.queue_capacity)
+            .default_deadline(None)
+            .top_k(1)
+            .build(),
     );
     let calib_start = Instant::now();
     let tickets: Vec<Ticket> = (0..scale.calib_requests)
@@ -337,6 +334,7 @@ fn main() {
         match ticket.wait() {
             QueryOutcome::Answered(r) => service_total += r.service,
             QueryOutcome::DeadlineMissed { .. } => unreachable!("no deadline in calibration"),
+            QueryOutcome::Cancelled { .. } => unreachable!("nobody cancels in calibration"),
             QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
         }
     }

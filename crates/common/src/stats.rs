@@ -20,6 +20,146 @@
 
 use std::time::Duration;
 
+/// A latency distribution summarised once from a sample set.
+///
+/// The serve reports (`ServeReport`, `ShardedServeReport`,
+/// `ScenarioReport`) and the per-interval serving timelines all expose the
+/// same five statistics — mean, p50, p95, p99, max — and before this type
+/// each of them re-sorted the raw samples per accessor call. A
+/// `LatencySummary` sorts **once** at construction and answers every
+/// accessor from the precomputed fields.
+///
+/// Percentiles follow [`duration_percentile`] exactly (nearest-rank,
+/// `None` on empty); [`LatencySummary::mean`] returns `Duration::ZERO` on
+/// an empty sample set because the mean is used additively in displays
+/// where a zero reads as "no traffic", unlike a tail percentile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    count: usize,
+    total: Duration,
+    min: Option<Duration>,
+    max: Option<Duration>,
+    p50: Option<Duration>,
+    p95: Option<Duration>,
+    p99: Option<Duration>,
+}
+
+impl LatencySummary {
+    /// Builds the summary from a sample set; sorts once, O(n log n).
+    pub fn from_samples(samples: impl IntoIterator<Item = Duration>) -> Self {
+        let mut sorted: Vec<Duration> = samples.into_iter().collect();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return Self::default();
+        }
+        let rank = |pct: usize| sorted[(sorted.len() - 1) * pct / 100];
+        Self {
+            count: sorted.len(),
+            total: sorted.iter().sum(),
+            min: Some(sorted[0]),
+            max: Some(sorted[sorted.len() - 1]),
+            p50: Some(rank(50)),
+            p95: Some(rank(95)),
+            p99: Some(rank(99)),
+        }
+    }
+
+    /// Number of samples the summary was built from.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sum of all samples (`Duration::ZERO` on empty).
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Arithmetic mean; `Duration::ZERO` on an empty sample set.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+
+    /// Smallest sample; `None` on empty.
+    pub fn min(&self) -> Option<Duration> {
+        self.min
+    }
+
+    /// Largest sample; `None` on empty.
+    pub fn max(&self) -> Option<Duration> {
+        self.max
+    }
+
+    /// Nearest-rank median; `None` on empty.
+    pub fn p50(&self) -> Option<Duration> {
+        self.p50
+    }
+
+    /// Nearest-rank 95th percentile; `None` on empty.
+    pub fn p95(&self) -> Option<Duration> {
+        self.p95
+    }
+
+    /// Nearest-rank 99th percentile; `None` on empty.
+    pub fn p99(&self) -> Option<Duration> {
+        self.p99
+    }
+}
+
+/// One fixed-width slice of a serving timeline.
+///
+/// Produced by [`bucket_timeline`]; the serve/scenario reports expose a
+/// `Vec<TimelineInterval>` so bench emitters and the elastic controller's
+/// offline analysis can see *when* a run degraded, not just its aggregate
+/// tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineInterval {
+    /// Zero-based interval index.
+    pub index: usize,
+    /// Offset of the interval's start from the run's start.
+    pub start: Duration,
+    /// Latency distribution of the events that completed in the interval.
+    pub latency: LatencySummary,
+}
+
+/// Buckets `(completion offset, latency)` events into fixed-width
+/// [`TimelineInterval`]s.
+///
+/// The timeline is dense: it spans interval 0 through the interval of the
+/// latest event, and intervals in which nothing completed carry an empty
+/// [`LatencySummary`] (percentiles `None`) rather than being skipped, so a
+/// stall is visible as a gap instead of silently compressing the x-axis.
+/// Returns an empty vec when there are no events.
+///
+/// # Panics
+/// Panics if `interval` is zero.
+pub fn bucket_timeline(
+    events: impl IntoIterator<Item = (Duration, Duration)>,
+    interval: Duration,
+) -> Vec<TimelineInterval> {
+    assert!(!interval.is_zero(), "timeline interval must be positive");
+    let mut buckets: Vec<Vec<Duration>> = Vec::new();
+    for (offset, latency) in events {
+        let idx = (offset.as_nanos() / interval.as_nanos()) as usize;
+        if idx >= buckets.len() {
+            buckets.resize_with(idx + 1, Vec::new);
+        }
+        buckets[idx].push(latency);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(index, samples)| TimelineInterval {
+            index,
+            start: interval * index as u32,
+            latency: LatencySummary::from_samples(samples),
+        })
+        .collect()
+}
+
 /// Nearest-rank percentile of a set of durations; `pct` is in `[0, 100]`.
 ///
 /// Returns `None` on an empty sample set — an empty slice has no
@@ -121,5 +261,72 @@ mod tests {
     #[should_panic(expected = "percentile must be")]
     fn rejects_out_of_range_pct() {
         duration_percentile([ms(1)], 101);
+    }
+
+    #[test]
+    fn summary_agrees_with_duration_percentile() {
+        let samples: Vec<Duration> = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5].map(ms).to_vec();
+        let s = LatencySummary::from_samples(samples.iter().copied());
+        assert_eq!(s.count(), samples.len());
+        for (pct, got) in [(50, s.p50()), (95, s.p95()), (99, s.p99())] {
+            assert_eq!(got, duration_percentile(samples.iter().copied(), pct));
+        }
+        assert_eq!(s.min(), samples.iter().copied().min());
+        assert_eq!(s.max(), samples.iter().copied().max());
+        assert_eq!(s.total(), samples.iter().copied().sum());
+        let mean = samples.iter().copied().sum::<Duration>() / samples.len() as u32;
+        assert_eq!(s.mean(), mean);
+    }
+
+    #[test]
+    fn empty_summary_has_no_percentiles_and_zero_mean() {
+        let s = LatencySummary::from_samples([]);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.p95(), None);
+        assert_eq!(s.p99(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn timeline_is_dense_and_buckets_by_completion_offset() {
+        // Events at 0.1s, 0.9s, 2.5s with a 1s interval: three intervals,
+        // the middle one (1s..2s) empty but present.
+        let events = [(ms(100), ms(5)), (ms(900), ms(7)), (ms(2500), ms(40))];
+        let tl = bucket_timeline(events, Duration::from_secs(1));
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[0].start, Duration::ZERO);
+        assert_eq!(tl[0].latency.count(), 2);
+        // Nearest-rank on 2 samples: index (2-1)*99/100 = 0.
+        assert_eq!(tl[0].latency.p99(), Some(ms(5)));
+        assert_eq!(tl[0].latency.max(), Some(ms(7)));
+        assert_eq!(tl[1].start, Duration::from_secs(1));
+        assert_eq!(tl[1].latency, LatencySummary::default());
+        assert_eq!(tl[2].index, 2);
+        assert_eq!(tl[2].latency.p50(), Some(ms(40)));
+    }
+
+    #[test]
+    fn timeline_of_no_events_is_empty() {
+        assert!(bucket_timeline([], Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn timeline_rejects_zero_interval() {
+        bucket_timeline([(ms(1), ms(1))], Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_summary_is_that_sample_everywhere() {
+        let s = LatencySummary::from_samples([ms(7)]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), ms(7));
+        for v in [s.min(), s.max(), s.p50(), s.p95(), s.p99()] {
+            assert_eq!(v, Some(ms(7)));
+        }
     }
 }

@@ -173,7 +173,10 @@ struct Shard {
 pub struct AnswerCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
-    max_stale_epochs: u64,
+    /// Live staleness bound: readable/settable at runtime so the elastic
+    /// control plane (`simpush::control`) can widen or tighten it under
+    /// load without rebuilding the cache.
+    max_stale_epochs: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -222,7 +225,7 @@ impl AnswerCache {
         Self {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: opts.capacity.div_ceil(shards),
-            max_stale_epochs: opts.max_stale_epochs,
+            max_stale_epochs: AtomicU64::new(opts.max_stale_epochs),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -231,9 +234,26 @@ impl AnswerCache {
         }
     }
 
-    /// The configured staleness bound.
+    /// The current staleness bound (a live knob; see
+    /// [`AnswerCache::set_max_stale_epochs`]).
     pub fn max_stale_epochs(&self) -> u64 {
-        self.max_stale_epochs
+        // relaxed: advisory read of a standalone tuning knob; no other
+        // memory is published through it.
+        self.max_stale_epochs.load(Ordering::Relaxed)
+    }
+
+    /// Retunes the staleness bound at runtime.
+    ///
+    /// Takes effect on subsequent [`AnswerCache::lookup`] and
+    /// [`AnswerCache::on_publish`] calls; in-flight calls may still use
+    /// the previous bound. **Widening** the bound never breaks the replay
+    /// contract — a stale hit still advertises its `computed_epoch`, and
+    /// replaying that epoch reproduces the answer bit for bit.
+    /// **Tightening** it lets the next `on_publish` drop entries that the
+    /// old bound would have kept.
+    pub fn set_max_stale_epochs(&self, bound: u64) {
+        // relaxed: standalone tuning knob, see `max_stale_epochs()`.
+        self.max_stale_epochs.store(bound, Ordering::Relaxed);
     }
 
     /// Entries currently cached (sums shard sizes; exact only at
@@ -268,7 +288,8 @@ impl AnswerCache {
             .as_mut()
             .expect("map points at a live slot");
         let stale_by = epoch.saturating_sub(entry.valid_epoch);
-        if stale_by <= self.max_stale_epochs {
+        // relaxed: advisory read of the live tuning knob.
+        if stale_by <= self.max_stale_epochs.load(Ordering::Relaxed) {
             entry.referenced = true;
             let hit = CacheHit {
                 computed_epoch: entry.computed_epoch,
@@ -388,7 +409,8 @@ impl AnswerCache {
                 }
                 // Invalidated now, or left behind by an earlier publish:
                 // keep serving stale within the bound, drop past it.
-                if epoch - entry.valid_epoch > self.max_stale_epochs {
+                // relaxed: advisory read of the live tuning knob.
+                if epoch - entry.valid_epoch > self.max_stale_epochs.load(Ordering::Relaxed) {
                     let key = entry.key;
                     shard.slots[idx] = None;
                     shard.map.remove(&key);

@@ -33,6 +33,32 @@
 //! request — each ticket resolves exactly once, to an answer or a miss —
 //! and joins them.
 //!
+//! # Construction: the options builder
+//!
+//! [`FrontendOptions`] is `#[non_exhaustive]`: outside this crate it is
+//! built through the validating [`FrontendOptions::builder`], never by
+//! struct literal. That is deliberate API design — new knobs (the control
+//! plane added several) land as new builder methods without breaking a
+//! single call site, and the builder rejects nonsense (`workers == 0`,
+//! zero capacity, a zero deadline) at construction instead of at
+//! `Frontend::start`.
+//!
+//! # Live tuning (the control plane)
+//!
+//! What *used to be* frozen at construction — deadline, admission limit,
+//! cache staleness, worker count — is now runtime state: `Frontend::start`
+//! publishes an initial [`ActiveTuning`]
+//! through a [`TuningHandle`]
+//! ([`Frontend::tuning_handle`]) and every submit/worker path reads the
+//! *current* tuning per request. A
+//! [`Controller`](crate::control::Controller) samples this front-end
+//! through a [`FrontendObserver`] (counters plus per-interval
+//! sojourn/latency histograms, [`FrontendObserver::sample`]) and swaps
+//! tunings closed-loop; workers whose index is at or above the tuning's
+//! `worker_target` park until retuned. Clients may also abandon queued
+//! work with [`Ticket::cancel`] — observed at dequeue, counted in
+//! [`FrontendStats::cancelled`].
+//!
 //! ```
 //! use simpush::{Config, Frontend, FrontendOptions, QueryOutcome, SimPush};
 //! use simrank_graph::{gen, GraphStore};
@@ -53,17 +79,26 @@
 //! ```
 
 use crate::answer_cache::{AnswerCache, CacheKey, SupportTracer};
+use crate::control::{
+    ActiveTuning, HistogramSnapshot, IntervalHistogram, TuningHandle, TuningLimits,
+};
 use crate::query::SimPush;
 use crate::workspace::QueryWorkspace;
-use crossbeam::channel::{self, TrySendError};
+use crossbeam::channel::{self, RecvTimeoutError, TrySendError};
 use simrank_common::NodeId;
 use simrank_graph::{
     GraphSnapshot, GraphStore, GraphView, Partitioner, ShardedSnapshot, ShardedStore,
 };
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long an idle worker blocks in `recv` before re-checking the live
+/// tuning (so a lowered `worker_target` can park workers that are sitting
+/// idle, not just busy ones). Purely a responsiveness backstop: requests
+/// and shutdown wake the channel immediately.
+const IDLE_RECHECK: Duration = Duration::from_millis(25);
 
 /// A store the front-end workers can acquire immutable graph snapshots
 /// from, tagged with a replayable version number.
@@ -118,7 +153,18 @@ impl<P: Partitioner + Clone + Send + Sync + 'static> SnapshotSource for ShardedS
     }
 }
 
-/// Knobs for [`Frontend::start`].
+/// Knobs for [`Frontend::start`], built through the validating
+/// [`FrontendOptions::builder`].
+///
+/// `#[non_exhaustive]` so future knobs are additive: external call sites
+/// construct via the builder (struct literals won't compile outside this
+/// crate) and therefore keep compiling when a field lands. The fields
+/// stay `pub` for *reading*.
+///
+/// The deadline, the admission limit, the cache staleness bound and the
+/// worker count given here are only the **initial** live tuning — see
+/// [`Frontend::tuning_handle`] for retuning them at runtime.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct FrontendOptions {
     /// Query worker threads (≥ 1), each holding one warm workspace.
@@ -156,6 +202,103 @@ impl Default for FrontendOptions {
             synthetic_service_delay: Duration::ZERO,
             cache: None,
         }
+    }
+}
+
+impl FrontendOptions {
+    /// Starts a builder seeded with the defaults (4 workers, capacity
+    /// 1024, no deadline, `top_k = 1`, no delay, no cache).
+    pub fn builder() -> FrontendOptionsBuilder {
+        FrontendOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+
+    /// Validates an options value; shared by [`build`][b] and
+    /// [`Frontend::start`] (which also guards in-crate literals).
+    ///
+    /// [b]: FrontendOptionsBuilder::build
+    fn validate(&self) {
+        assert!(self.workers >= 1, "need at least one worker thread");
+        assert!(
+            self.queue_capacity >= 1,
+            "admission queue capacity must be ≥ 1"
+        );
+        assert!(self.top_k >= 1, "answers must keep at least one node");
+        if let Some(d) = self.default_deadline {
+            // Zero would expire every request at dequeue — backlog tests
+            // that want that use a short-but-positive deadline instead.
+            assert!(!d.is_zero(), "a default deadline must be positive");
+        }
+    }
+}
+
+/// Validating builder for [`FrontendOptions`] — the only way to construct
+/// them outside this crate.
+///
+/// ```
+/// use simpush::FrontendOptions;
+/// use std::time::Duration;
+///
+/// let opts = FrontendOptions::builder()
+///     .workers(2)
+///     .queue_capacity(64)
+///     .default_deadline(Some(Duration::from_millis(250)))
+///     .top_k(3)
+///     .build();
+/// assert_eq!(opts.workers, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrontendOptionsBuilder {
+    opts: FrontendOptions,
+}
+
+impl FrontendOptionsBuilder {
+    /// Query worker threads (validated ≥ 1 at build).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Admission-queue capacity (validated ≥ 1 at build).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.opts.queue_capacity = capacity;
+        self
+    }
+
+    /// Deadline applied to requests submitted without one; `None` never
+    /// expires. Validated positive and above the synthetic delay.
+    pub fn default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.opts.default_deadline = deadline;
+        self
+    }
+
+    /// How many top-scoring nodes each answer keeps (validated ≥ 1).
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.opts.top_k = top_k;
+        self
+    }
+
+    /// Fault-injection service delay (tests and saturation benches).
+    pub fn synthetic_service_delay(mut self, delay: Duration) -> Self {
+        self.opts.synthetic_service_delay = delay;
+        self
+    }
+
+    /// Attaches a shared hot-answer cache.
+    pub fn cache(mut self, cache: Arc<AnswerCache>) -> Self {
+        self.opts.cache = Some(cache);
+        self
+    }
+
+    /// Validates and produces the options.
+    ///
+    /// # Panics
+    /// Panics if `workers` or `queue_capacity` is 0, `top_k` is 0, or the
+    /// deadline is zero.
+    pub fn build(self) -> FrontendOptions {
+        self.opts.validate();
+        self.opts
     }
 }
 
@@ -212,6 +355,13 @@ pub enum QueryOutcome {
         /// How long the request sat in the queue before being dropped.
         queue_wait: Duration,
     },
+    /// The request was cancelled via [`Ticket::cancel`] before a worker
+    /// reached it; it was dropped at dequeue without being answered (and
+    /// never will be), and counted in [`FrontendStats::cancelled`].
+    Cancelled {
+        /// The query node that was cancelled.
+        node: NodeId,
+    },
     /// The worker serving this request died (panicked) before producing
     /// an answer. The request was not answered and never will be; the
     /// panic itself surfaces from [`Frontend::shutdown`]'s join. Exists
@@ -227,6 +377,9 @@ pub enum QueryOutcome {
 struct Slot {
     outcome: Mutex<Option<QueryOutcome>>,
     done: Condvar,
+    /// Set by [`Ticket::cancel`]; workers observe it at dequeue. Purely
+    /// advisory — a request already in service still answers.
+    cancelled: AtomicBool,
 }
 
 impl Slot {
@@ -294,6 +447,23 @@ impl Ticket {
             .unwrap_or_else(|p| p.into_inner())
             .is_some()
     }
+
+    /// Flags the request as abandoned so the front-end sheds it instead
+    /// of serving it: a worker that dequeues a cancelled request drops it
+    /// immediately, resolving the ticket to [`QueryOutcome::Cancelled`]
+    /// and counting it in [`FrontendStats::cancelled`].
+    ///
+    /// Best-effort by design — cancellation is *observed at dequeue*, so
+    /// a request already being served still resolves to its answer. Safe
+    /// to call at any time, including after the request resolved (no-op)
+    /// and more than once. The caller still owns the ticket and may
+    /// [`wait`](Self::wait) to learn which way the race went.
+    pub fn cancel(&self) {
+        // relaxed: advisory shed flag — the worker's dequeue-time load
+        // either sees it (sheds) or doesn't (serves); no other memory is
+        // published through it.
+        self.slot.cancelled.store(true, Ordering::Relaxed);
+    }
 }
 
 struct Request {
@@ -321,10 +491,79 @@ struct Counters {
     rejected: AtomicU64,
     answered: AtomicU64,
     deadline_misses: AtomicU64,
+    cancelled: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
+    parked_workers: AtomicUsize,
+    /// Per-interval queue-wait histogram, recorded at every dequeue and
+    /// drained each controller tick.
+    interval_sojourn: IntervalHistogram,
+    /// Per-interval end-to-end (wait + service) histogram, recorded at
+    /// every answer.
+    interval_latency: IntervalHistogram,
+}
+
+fn snapshot_stats(counters: &Counters) -> FrontendStats {
+    // relaxed: monotone stat counters + advisory gauges; a snapshot
+    // is inherently racy, no other memory depends on these values.
+    let count = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let gauge = |c: &AtomicUsize| c.load(Ordering::Relaxed);
+    FrontendStats {
+        accepted: count(&counters.accepted),
+        rejected: count(&counters.rejected),
+        answered: count(&counters.answered),
+        deadline_misses: count(&counters.deadline_misses),
+        cancelled: count(&counters.cancelled),
+        cache_hits: count(&counters.cache_hits),
+        cache_misses: count(&counters.cache_misses),
+        queue_depth: gauge(&counters.queue_depth),
+        max_queue_depth: gauge(&counters.max_queue_depth),
+        parked_workers: gauge(&counters.parked_workers),
+    }
+}
+
+/// Read-only telemetry handle onto a front-end, cheap to clone and safe
+/// to hold past the front-end's shutdown (it shares the counters by
+/// `Arc`). This is what the [`Controller`](crate::control::Controller)
+/// samples.
+#[derive(Debug, Clone)]
+pub struct FrontendObserver {
+    counters: Arc<Counters>,
+}
+
+impl FrontendObserver {
+    /// A point-in-time counter snapshot (same as [`Frontend::stats`]).
+    pub fn stats(&self) -> FrontendStats {
+        snapshot_stats(&self.counters)
+    }
+
+    /// Snapshots the counters **and drains** the per-interval
+    /// sojourn/latency histograms — the controller's per-tick read.
+    ///
+    /// Draining consumes the interval: two concurrent samplers would
+    /// split the samples between them, so run one controller (or
+    /// timeline collector) per front-end.
+    pub fn sample(&self) -> IntervalSample {
+        IntervalSample {
+            stats: snapshot_stats(&self.counters),
+            sojourn: self.counters.interval_sojourn.drain(),
+            latency: self.counters.interval_latency.drain(),
+        }
+    }
+}
+
+/// One [`FrontendObserver::sample`]: counters plus the drained interval
+/// histograms.
+#[derive(Debug, Clone)]
+pub struct IntervalSample {
+    /// Counter snapshot at drain time.
+    pub stats: FrontendStats,
+    /// Queue-wait distribution of the interval (everything dequeued).
+    pub sojourn: HistogramSnapshot,
+    /// End-to-end latency distribution of the interval (answers only).
+    pub latency: HistogramSnapshot,
 }
 
 /// A point-in-time view of the front-end's admission/service counters.
@@ -338,6 +577,9 @@ pub struct FrontendStats {
     pub answered: u64,
     /// Requests dropped at dequeue because their deadline had passed.
     pub deadline_misses: u64,
+    /// Requests dropped at dequeue because their ticket was
+    /// [cancelled](Ticket::cancel) while they queued.
+    pub cancelled: u64,
     /// Requests answered straight from the [`AnswerCache`] (no snapshot
     /// acquired, no query run). Always 0 without a configured cache.
     pub cache_hits: u64,
@@ -354,6 +596,9 @@ pub struct FrontendStats {
     /// number of concurrently in-flight submitters (it is a gauge of
     /// admission pressure, not an exact buffer-occupancy bound).
     pub max_queue_depth: usize,
+    /// Workers currently parked by the live tuning's `worker_target`
+    /// (racy gauge; exact only at quiescence).
+    pub parked_workers: usize,
 }
 
 impl FrontendStats {
@@ -375,7 +620,7 @@ pub struct Frontend {
     tx: Option<channel::Sender<Request>>,
     workers: Vec<JoinHandle<()>>,
     counters: Arc<Counters>,
-    default_deadline: Option<Duration>,
+    tuning: Arc<TuningHandle>,
     num_nodes: usize,
 }
 
@@ -383,7 +628,7 @@ impl std::fmt::Debug for Frontend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Frontend")
             .field("workers", &self.workers.len())
-            .field("default_deadline", &self.default_deadline)
+            .field("tuning", &*self.tuning.load())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -405,33 +650,68 @@ impl Frontend {
         source: Arc<S>,
         opts: FrontendOptions,
     ) -> Self {
-        assert!(opts.workers >= 1, "need at least one worker thread");
-        assert!(
-            opts.queue_capacity >= 1,
-            "admission queue capacity must be ≥ 1"
-        );
+        opts.validate();
         let (tx, rx) = channel::bounded::<Request>(opts.queue_capacity);
         let counters = Arc::new(Counters::default());
         let num_nodes = source.acquire().0.num_nodes();
+        // The construction-time knobs become the *initial* live tuning:
+        // no quota (the channel capacity is the only admission limit, the
+        // historical behaviour), every worker serving.
+        let tuning = Arc::new(TuningHandle::new(
+            ActiveTuning {
+                deadline: opts.default_deadline,
+                admission_quota: None,
+                max_stale_epochs: opts
+                    .cache
+                    .as_deref()
+                    .map_or(0, AnswerCache::max_stale_epochs),
+                worker_target: opts.workers,
+            },
+            TuningLimits {
+                max_workers: opts.workers,
+                queue_capacity: opts.queue_capacity,
+            },
+            opts.cache.clone(),
+        ));
         let mut workers = Vec::with_capacity(opts.workers);
-        for _ in 0..opts.workers {
-            let rx = rx.clone();
+        for index in 0..opts.workers {
+            let ctx = WorkerContext {
+                rx: rx.clone(),
+                engine: engine.clone(),
+                counters: counters.clone(),
+                tuning: tuning.clone(),
+                top_k: opts.top_k,
+                synthetic_delay: opts.synthetic_service_delay,
+                cache: opts.cache.clone(),
+                index,
+            };
             let source = source.clone();
-            let engine = engine.clone();
-            let counters = counters.clone();
-            let top_k = opts.top_k;
-            let delay = opts.synthetic_service_delay;
-            let cache = opts.cache.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &*source, &engine, &counters, top_k, delay, cache);
+                worker_loop(&*source, ctx);
             }));
         }
         Self {
             tx: Some(tx),
             workers,
             counters,
-            default_deadline: opts.default_deadline,
+            tuning,
             num_nodes,
+        }
+    }
+
+    /// The live-tuning publication point shared with the workers: swap an
+    /// [`ActiveTuning`] through it (directly or via a
+    /// [`Controller`](crate::control::Controller)) and the next request
+    /// sees the new deadline/quota/staleness/worker-target.
+    pub fn tuning_handle(&self) -> Arc<TuningHandle> {
+        self.tuning.clone()
+    }
+
+    /// A read-only telemetry handle (counters + interval histograms) that
+    /// outlives the front-end — what a controller samples.
+    pub fn observer(&self) -> FrontendObserver {
+        FrontendObserver {
+            counters: self.counters.clone(),
         }
     }
 
@@ -445,10 +725,13 @@ impl Frontend {
         Request {
             node,
             submitted_at,
-            deadline: deadline.or(self.default_deadline).map(|d| submitted_at + d),
+            deadline: deadline
+                .or(self.tuning.load().deadline)
+                .map(|d| submitted_at + d),
             slot: Arc::new(Slot {
                 outcome: Mutex::new(None),
                 done: Condvar::new(),
+                cancelled: AtomicBool::new(false),
             }),
         }
     }
@@ -474,6 +757,19 @@ impl Frontend {
             .max_queue_depth
             .fetch_max(depth, Ordering::Relaxed);
         Ticket { slot: slot.clone() }
+    }
+
+    /// The live admission quota check, applied by every submit path after
+    /// its gauge increment: when the tuning carries `Some(quota)` and the
+    /// depth at increment time exceeds it, the submission is shed
+    /// *before* touching the channel — even the blocking submit, because
+    /// a controller-imposed quota exists precisely to stop cooperative
+    /// clients from queueing into an overloaded service.
+    fn over_quota(&self, depth: usize) -> bool {
+        self.tuning
+            .load()
+            .admission_quota
+            .is_some_and(|quota| depth > quota)
     }
 
     fn on_reject(&self) -> SubmitError {
@@ -511,6 +807,9 @@ impl Frontend {
         let slot = request.slot.clone();
         let tx = self.tx.as_ref().expect("sender lives until shutdown");
         let depth = self.gauge_up();
+        if self.over_quota(depth) {
+            return Err(self.on_reject());
+        }
         match tx.try_send(request) {
             Ok(()) => Ok(self.on_accept(&slot, depth)),
             Err(TrySendError::Full(_)) => Err(self.on_reject()),
@@ -533,6 +832,9 @@ impl Frontend {
         let slot = request.slot.clone();
         let tx = self.tx.as_ref().expect("sender lives until shutdown");
         let depth = self.gauge_up();
+        if self.over_quota(depth) {
+            return Err(self.on_reject());
+        }
         match tx.send_timeout(request, timeout) {
             Ok(()) => Ok(self.on_accept(&slot, depth)),
             Err(channel::SendTimeoutError::Timeout(_)) => Err(self.on_reject()),
@@ -611,20 +913,7 @@ impl Frontend {
 
     /// A snapshot of the admission/service counters.
     pub fn stats(&self) -> FrontendStats {
-        // relaxed: monotone stat counters + advisory gauges; a snapshot
-        // is inherently racy, no other memory depends on these values.
-        let count = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let gauge = |c: &AtomicUsize| c.load(Ordering::Relaxed);
-        FrontendStats {
-            accepted: count(&self.counters.accepted),
-            rejected: count(&self.counters.rejected),
-            answered: count(&self.counters.answered),
-            deadline_misses: count(&self.counters.deadline_misses),
-            cache_hits: count(&self.counters.cache_hits),
-            cache_misses: count(&self.counters.cache_misses),
-            queue_depth: gauge(&self.counters.queue_depth),
-            max_queue_depth: gauge(&self.counters.max_queue_depth),
-        }
+        snapshot_stats(&self.counters)
     }
 
     /// Stops accepting requests, drains the queue (every accepted request
@@ -639,6 +928,10 @@ impl Frontend {
         // Dropping the only sender disconnects the channel; workers drain
         // what is buffered, then their `recv` errors out and they exit.
         drop(self.tx.take());
+        // Release parked workers (they exit without serving; the active
+        // ones drain — worker 0 is always active, the tuning clamp keeps
+        // `worker_target ≥ 1`).
+        self.tuning.shutdown();
         let mut worker_panicked = false;
         for handle in self.workers.drain(..) {
             worker_panicked |= handle.join().is_err();
@@ -661,26 +954,76 @@ impl Drop for Frontend {
     }
 }
 
-fn worker_loop<S: SnapshotSource + ?Sized>(
-    rx: &channel::Receiver<Request>,
-    source: &S,
-    engine: &SimPush,
-    counters: &Counters,
+/// Everything one worker thread owns, bundled so spawning stays readable.
+struct WorkerContext {
+    rx: channel::Receiver<Request>,
+    engine: SimPush,
+    counters: Arc<Counters>,
+    tuning: Arc<TuningHandle>,
     top_k: usize,
     synthetic_delay: Duration,
     cache: Option<Arc<AnswerCache>>,
-) {
+    /// This worker's index: it serves while `index < worker_target` and
+    /// parks otherwise.
+    index: usize,
+}
+
+fn worker_loop<S: SnapshotSource + ?Sized>(source: &S, ctx: WorkerContext) {
+    let counters = &*ctx.counters;
     let mut ws = QueryWorkspace::new();
-    let fingerprint = engine.config().fingerprint();
+    let fingerprint = ctx.engine.config().fingerprint();
     // Fast-path reacquire state: the snapshot served last, tagged with
     // its version. While the store's lock-free version hint matches, the
     // worker reuses it instead of paying the read lock + `Arc` clone.
     let mut held: Option<(Arc<S::View>, u64)> = None;
-    while let Ok(request) = rx.recv() {
+    // Live-tuning read state, same idiom: reload the Arc only when the
+    // handle's version moved.
+    let mut tuning_version = ctx.tuning.version();
+    let mut tuning = ctx.tuning.load();
+    loop {
+        if ctx.tuning.version() != tuning_version {
+            tuning_version = ctx.tuning.version();
+            tuning = ctx.tuning.load();
+        }
+        // Park protocol: a worker retuned out of the pool steps aside
+        // (gauged for the observer) until a swap brings it back or the
+        // front-end shuts down.
+        if ctx.index >= tuning.worker_target {
+            // relaxed: advisory gauge, read only by stats snapshots.
+            counters.parked_workers.fetch_add(1, Ordering::Relaxed);
+            let keep_serving = ctx.tuning.park_worker(ctx.index);
+            // relaxed: advisory gauge, as above.
+            counters.parked_workers.fetch_sub(1, Ordering::Relaxed);
+            if !keep_serving {
+                return;
+            }
+            continue;
+        }
+        // A bounded wait instead of a bare `recv` so an *idle* worker
+        // still notices a lowered worker target; messages and disconnect
+        // wake it immediately, so drain behaviour is unchanged.
+        let request = match ctx.rx.recv_timeout(IDLE_RECHECK) {
+            Ok(request) => request,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
         // relaxed: advisory gauge decrement (see gauge_up).
         counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let dequeued_at = Instant::now();
         let queue_wait = dequeued_at.duration_since(request.submitted_at);
+        // Sojourn telemetry covers *everything* dequeued — answered,
+        // expired or cancelled — because queue aging is exactly what the
+        // controller needs to see.
+        counters.interval_sojourn.record(queue_wait);
+        // relaxed: advisory shed flag, see Ticket::cancel.
+        if request.slot.cancelled.load(Ordering::Relaxed) {
+            // relaxed: monotone stat counter, advisory reads only.
+            counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            request
+                .slot
+                .fill(QueryOutcome::Cancelled { node: request.node });
+            continue;
+        }
         if let Some(deadline) = request.deadline {
             if dequeued_at > deadline {
                 // relaxed: monotone stat counter, advisory reads only.
@@ -692,17 +1035,17 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
                 continue;
             }
         }
-        if !synthetic_delay.is_zero() {
-            std::thread::sleep(synthetic_delay);
+        if !ctx.synthetic_delay.is_zero() {
+            std::thread::sleep(ctx.synthetic_delay);
         }
         let service_start = Instant::now();
         let hint = source.version_hint();
         let key = CacheKey {
             node: request.node,
-            top_k,
+            top_k: ctx.top_k,
             fingerprint,
         };
-        if let Some(cache) = cache.as_deref() {
+        if let Some(cache) = ctx.cache.as_deref() {
             if let Some(hit) = cache.lookup(&key, hint) {
                 // Served without touching the store: no snapshot, no
                 // query. The response's epoch is the one the answer was
@@ -710,11 +1053,13 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
                 // relaxed: monotone stat counters, advisory reads only.
                 counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 counters.answered.fetch_add(1, Ordering::Relaxed);
+                let service = service_start.elapsed();
+                counters.interval_latency.record(queue_wait + service);
                 request.slot.fill(QueryOutcome::Answered(FrontendResponse {
                     node: request.node,
                     epoch: hit.computed_epoch,
                     queue_wait,
-                    service: service_start.elapsed(),
+                    service,
                     top: hit.top,
                 }));
                 continue;
@@ -726,24 +1071,25 @@ fn worker_loop<S: SnapshotSource + ?Sized>(
             held = Some(source.acquire());
         }
         let (snap, epoch) = held.as_ref().map(|(s, v)| (s, *v)).expect("just acquired");
-        let (top, support) = if cache.is_some() {
+        let (top, support) = if ctx.cache.is_some() {
             let tracer = SupportTracer::new(&**snap);
-            let result = engine.query_seeded_with(&tracer, request.node, &mut ws);
-            (result.top_k(top_k), Some(tracer.take_support()))
+            let result = ctx.engine.query_seeded_with(&tracer, request.node, &mut ws);
+            (result.top_k(ctx.top_k), Some(tracer.take_support()))
         } else {
             (
-                engine
+                ctx.engine
                     .query_seeded_with(&**snap, request.node, &mut ws)
-                    .top_k(top_k),
+                    .top_k(ctx.top_k),
                 None,
             )
         };
         let service = service_start.elapsed();
-        if let (Some(cache), Some(support)) = (cache.as_deref(), support) {
+        if let (Some(cache), Some(support)) = (ctx.cache.as_deref(), support) {
             cache.insert(key, epoch, support, top.clone());
         }
         // relaxed: monotone stat counter, advisory reads only.
         counters.answered.fetch_add(1, Ordering::Relaxed);
+        counters.interval_latency.record(queue_wait + service);
         request.slot.fill(QueryOutcome::Answered(FrontendResponse {
             node: request.node,
             epoch,
@@ -760,26 +1106,17 @@ mod tests {
     use crate::Config;
     use simrank_graph::{gen, GraphUpdate, HashPartitioner};
 
-    fn options(workers: usize, cap: usize) -> FrontendOptions {
-        FrontendOptions {
-            workers,
-            queue_capacity: cap,
-            ..FrontendOptions::default()
-        }
+    fn options(workers: usize, cap: usize) -> FrontendOptionsBuilder {
+        FrontendOptions::builder()
+            .workers(workers)
+            .queue_capacity(cap)
     }
 
     #[test]
     fn answers_match_direct_seeded_queries_on_a_quiescent_store() {
         let store = Arc::new(GraphStore::new(gen::gnm(150, 700, 5)));
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(
-            &engine,
-            store.clone(),
-            FrontendOptions {
-                top_k: 3,
-                ..options(3, 64)
-            },
-        );
+        let frontend = Frontend::start(&engine, store.clone(), options(3, 64).top_k(3).build());
         let queries: Vec<NodeId> = (0..20).map(|i| (i * 17) % 150).collect();
         let tickets: Vec<Ticket> = queries
             .iter()
@@ -811,7 +1148,7 @@ mod tests {
         let store = Arc::new(ShardedStore::new(&base, HashPartitioner::new(3)));
         store.commit(&[GraphUpdate::Insert(0, 119), GraphUpdate::Insert(1, 118)]);
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, store.clone(), options(2, 16));
+        let frontend = Frontend::start(&engine, store.clone(), options(2, 16).build());
         let ticket = frontend.try_submit(42).unwrap();
         match ticket.wait() {
             QueryOutcome::Answered(r) => {
@@ -834,10 +1171,9 @@ mod tests {
         let frontend = Frontend::start(
             &engine,
             store,
-            FrontendOptions {
-                synthetic_service_delay: Duration::from_millis(100),
-                ..options(1, 2)
-            },
+            options(1, 2)
+                .synthetic_service_delay(Duration::from_millis(100))
+                .build(),
         );
         let mut tickets = vec![frontend.try_submit(0).unwrap()];
         // Wait until the worker has dequeued the first request, so queue
@@ -878,11 +1214,10 @@ mod tests {
         let frontend = Frontend::start(
             &engine,
             store,
-            FrontendOptions {
-                default_deadline: Some(Duration::from_millis(15)),
-                synthetic_service_delay: Duration::from_millis(60),
-                ..options(1, 8)
-            },
+            options(1, 8)
+                .default_deadline(Some(Duration::from_millis(15)))
+                .synthetic_service_delay(Duration::from_millis(60))
+                .build(),
         );
         let first = frontend.try_submit(1).unwrap();
         let t = Instant::now();
@@ -945,7 +1280,7 @@ mod tests {
             calls: AtomicU64::new(0),
         });
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, source, options(1, 4));
+        let frontend = Frontend::start(&engine, source, options(1, 4).build());
         let ticket = frontend.try_submit(5).unwrap();
         match ticket.wait() {
             QueryOutcome::Failed { node } => assert_eq!(node, 5),
@@ -966,11 +1301,7 @@ mod tests {
         let frontend = Frontend::start(
             &engine,
             store.clone(),
-            FrontendOptions {
-                top_k: 3,
-                cache: Some(cache.clone()),
-                ..options(1, 16)
-            },
+            options(1, 16).top_k(3).cache(cache.clone()).build(),
         );
         let first = match frontend.try_submit(7).unwrap().wait() {
             QueryOutcome::Answered(r) => r,
@@ -1011,11 +1342,7 @@ mod tests {
         let frontend = Frontend::start(
             &engine,
             store.clone(),
-            FrontendOptions {
-                top_k: 3,
-                cache: Some(cache.clone()),
-                ..options(1, 16)
-            },
+            options(1, 16).top_k(3).cache(cache.clone()).build(),
         );
         // Warm both keys at epoch 0.
         let warm0 = match frontend.try_submit(0).unwrap().wait() {
@@ -1064,10 +1391,7 @@ mod tests {
         let frontend = Frontend::start(
             &engine,
             store.clone(),
-            FrontendOptions {
-                cache: Some(cache.clone()),
-                ..options(1, 16)
-            },
+            options(1, 16).cache(cache.clone()).build(),
         );
         assert!(matches!(
             frontend.try_submit(3).unwrap().wait(),
@@ -1090,7 +1414,7 @@ mod tests {
     fn shutdown_drains_every_accepted_request() {
         let store = Arc::new(GraphStore::new(gen::gnm(80, 320, 4)));
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, store, options(2, 64));
+        let frontend = Frontend::start(&engine, store, options(2, 64).build());
         let tickets: Vec<Ticket> = (0..30u32)
             .map(|i| frontend.try_submit(i % 80).unwrap())
             .collect();
@@ -1113,10 +1437,9 @@ mod tests {
         let frontend = Frontend::start(
             &engine,
             store,
-            FrontendOptions {
-                synthetic_service_delay: Duration::from_millis(20),
-                ..options(1, 1)
-            },
+            options(1, 1)
+                .synthetic_service_delay(Duration::from_millis(20))
+                .build(),
         );
         // Saturate: one in service, one queued.
         let a = frontend.try_submit(0).unwrap();
@@ -1143,7 +1466,7 @@ mod tests {
     fn closed_loop_outcomes_line_up_with_keys_and_match_direct_queries() {
         let store = Arc::new(GraphStore::new(gen::gnm(90, 400, 6)));
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, store.clone(), options(2, 8));
+        let frontend = Frontend::start(&engine, store.clone(), options(2, 8).build());
         let keys: Vec<NodeId> = (0..25).map(|i| (i * 13) % 90).collect();
         let outcomes = frontend.run_closed_loop(&keys, 3, Duration::from_secs(30));
         assert_eq!(outcomes.len(), keys.len());
@@ -1168,7 +1491,7 @@ mod tests {
     fn closed_loop_with_more_clients_than_keys_still_covers_everything() {
         let store = Arc::new(GraphStore::new(gen::gnm(20, 80, 2)));
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, store, options(2, 16));
+        let frontend = Frontend::start(&engine, store, options(2, 16).build());
         let outcomes = frontend.run_closed_loop(&[3, 7], 8, Duration::from_secs(30));
         assert_eq!(outcomes.len(), 2);
         assert!(outcomes
@@ -1185,7 +1508,7 @@ mod tests {
     fn closed_loop_rejects_zero_clients() {
         let store = Arc::new(GraphStore::new(gen::gnm(10, 30, 1)));
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, store, options(1, 4));
+        let frontend = Frontend::start(&engine, store, options(1, 4).build());
         frontend.run_closed_loop(&[1], 0, Duration::from_secs(1));
     }
 
@@ -1194,7 +1517,7 @@ mod tests {
     fn rejects_out_of_range_nodes_at_submission() {
         let store = Arc::new(GraphStore::new(gen::gnm(10, 30, 1)));
         let engine = SimPush::new(Config::new(0.05));
-        let frontend = Frontend::start(&engine, store, options(1, 4));
+        let frontend = Frontend::start(&engine, store, options(1, 4).build());
         let _ = frontend.try_submit(10);
     }
 
@@ -1203,6 +1526,218 @@ mod tests {
     fn rejects_zero_workers() {
         let store = Arc::new(GraphStore::new(gen::gnm(10, 30, 1)));
         let engine = SimPush::new(Config::new(0.05));
-        Frontend::start(&engine, store, options(0, 4));
+        Frontend::start(&engine, store, options(0, 4).build());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity must be")]
+    fn builder_rejects_zero_capacity() {
+        let _ = options(1, 0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn builder_rejects_zero_deadline() {
+        let _ = options(1, 4).default_deadline(Some(Duration::ZERO)).build();
+    }
+
+    /// Parks the single worker on a long synthetic delay and returns once
+    /// the queue gauge shows the first request was dequeued, so queue
+    /// occupancy is deterministic for what the test submits next.
+    fn occupy_worker(frontend: &Frontend) -> Ticket {
+        let ticket = frontend.try_submit(0).unwrap();
+        let t = Instant::now();
+        while frontend.queue_depth() > 0 {
+            assert!(t.elapsed() < Duration::from_secs(5), "worker never started");
+            std::thread::yield_now();
+        }
+        ticket
+    }
+
+    #[test]
+    fn cancelled_ticket_is_shed_at_dequeue_and_counted() {
+        let store = Arc::new(GraphStore::new(gen::gnm(40, 160, 3)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store,
+            options(1, 8)
+                .synthetic_service_delay(Duration::from_millis(40))
+                .build(),
+        );
+        let first = occupy_worker(&frontend);
+        let doomed = frontend.try_submit(1).unwrap();
+        doomed.cancel();
+        assert!(!doomed.is_done(), "cancellation resolves at dequeue");
+        match doomed.wait() {
+            QueryOutcome::Cancelled { node } => assert_eq!(node, 1),
+            other => panic!("cancelled while queued, got {other:?}"),
+        }
+        assert!(matches!(first.wait(), QueryOutcome::Answered(_)));
+        let stats = frontend.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.answered, 1);
+        assert_eq!(stats.deadline_misses, 0);
+    }
+
+    #[test]
+    fn cancel_after_resolution_is_a_no_op() {
+        let store = Arc::new(GraphStore::new(gen::gnm(40, 160, 3)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store, options(1, 4).build());
+        let ticket = frontend.try_submit(2).unwrap();
+        let t = Instant::now();
+        while !ticket.is_done() {
+            assert!(t.elapsed() < Duration::from_secs(5), "never answered");
+            std::thread::yield_now();
+        }
+        ticket.cancel(); // lost the race: the answer stands
+        assert!(matches!(ticket.wait(), QueryOutcome::Answered(_)));
+        let stats = frontend.shutdown();
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.answered, 1);
+    }
+
+    #[test]
+    fn admission_quota_sheds_submissions_the_channel_would_accept() {
+        let store = Arc::new(GraphStore::new(gen::gnm(50, 200, 1)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store,
+            options(1, 16)
+                .synthetic_service_delay(Duration::from_millis(60))
+                .build(),
+        );
+        let tuning = frontend.tuning_handle();
+        tuning.swap(ActiveTuning {
+            admission_quota: Some(1),
+            ..(*tuning.load()).clone()
+        });
+        let first = occupy_worker(&frontend);
+        // Depth 1 is within quota; depth 2 exceeds it even though the
+        // 16-slot channel has plenty of room.
+        let second = frontend.try_submit(1).unwrap();
+        assert!(matches!(
+            frontend.try_submit(2),
+            Err(SubmitError::Overloaded)
+        ));
+        // The blocking submit is shed too — a quota exists to stop
+        // cooperative clients from queueing into an overloaded service.
+        assert!(matches!(
+            frontend.submit_timeout(3, Duration::from_secs(5)),
+            Err(SubmitError::Overloaded)
+        ));
+        for t in [first, second] {
+            assert!(matches!(t.wait(), QueryOutcome::Answered(_)));
+        }
+        let stats = frontend.shutdown();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.accepted, 2);
+    }
+
+    #[test]
+    fn worker_target_parks_and_unparks_the_pool() {
+        let store = Arc::new(GraphStore::new(gen::gnm(60, 240, 2)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store.clone(), options(4, 32).build());
+        let tuning = frontend.tuning_handle();
+        let wait_for_parked = |want: usize| {
+            let t = Instant::now();
+            while frontend.stats().parked_workers != want {
+                assert!(
+                    t.elapsed() < Duration::from_secs(5),
+                    "parked gauge never reached {want}: {:?}",
+                    frontend.stats()
+                );
+                std::thread::yield_now();
+            }
+        };
+        tuning.swap(ActiveTuning {
+            worker_target: 1,
+            ..(*tuning.load()).clone()
+        });
+        wait_for_parked(3);
+        // A single-worker pool still answers.
+        assert!(matches!(
+            frontend.try_submit(5).unwrap().wait(),
+            QueryOutcome::Answered(_)
+        ));
+        tuning.swap(ActiveTuning {
+            worker_target: 4,
+            ..(*tuning.load()).clone()
+        });
+        wait_for_parked(0);
+        let outcomes = frontend.run_closed_loop(
+            &(0..20).collect::<Vec<NodeId>>(),
+            4,
+            Duration::from_secs(30),
+        );
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Ok(QueryOutcome::Answered(_)))));
+        let stats = frontend.shutdown();
+        assert_eq!(stats.answered, 21);
+        assert_eq!(stats.parked_workers, 0, "shutdown released the pool");
+    }
+
+    #[test]
+    fn live_deadline_retune_applies_to_subsequent_submissions() {
+        // Same shape as delayed_worker_turns_queued_requests_into_
+        // deadline_misses, but the deadline arrives via a runtime swap
+        // instead of construction-time options.
+        let store = Arc::new(GraphStore::new(gen::gnm(60, 240, 2)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(
+            &engine,
+            store,
+            options(1, 8)
+                .synthetic_service_delay(Duration::from_millis(60))
+                .build(),
+        );
+        let tuning = frontend.tuning_handle();
+        let first = occupy_worker(&frontend);
+        tuning.swap(ActiveTuning {
+            deadline: Some(Duration::from_millis(15)),
+            ..(*tuning.load()).clone()
+        });
+        // Queued behind a 60 ms service with a 15 ms deadline: expires.
+        let second = frontend.try_submit(2).unwrap();
+        assert!(matches!(first.wait(), QueryOutcome::Answered(_)));
+        assert!(matches!(
+            second.wait(),
+            QueryOutcome::DeadlineMissed { node: 2, .. }
+        ));
+        let stats = frontend.shutdown();
+        assert_eq!(stats.deadline_misses, 1);
+    }
+
+    #[test]
+    fn observer_sample_drains_the_interval_histograms() {
+        let store = Arc::new(GraphStore::new(gen::gnm(80, 320, 4)));
+        let engine = SimPush::new(Config::new(0.05));
+        let frontend = Frontend::start(&engine, store, options(2, 32).build());
+        let observer = frontend.observer();
+        let outcomes = frontend.run_closed_loop(
+            &(0..12).collect::<Vec<NodeId>>(),
+            2,
+            Duration::from_secs(30),
+        );
+        assert_eq!(outcomes.len(), 12);
+        let sample = observer.sample();
+        assert_eq!(sample.stats.answered, 12);
+        assert_eq!(sample.sojourn.count, 12, "every dequeue records sojourn");
+        assert_eq!(sample.latency.count, 12, "every answer records latency");
+        assert!(sample.latency.percentile(99).is_some());
+        assert!(
+            sample.latency.percentile(50) >= sample.sojourn.percentile(0),
+            "latency includes service on top of sojourn"
+        );
+        // The drain consumed the interval.
+        let empty = observer.sample();
+        assert!(empty.sojourn.is_empty() && empty.latency.is_empty());
+        // The observer outlives the front-end.
+        let final_stats = frontend.shutdown();
+        assert_eq!(observer.stats(), final_stats);
     }
 }

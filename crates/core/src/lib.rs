@@ -70,6 +70,19 @@
 //! [`SubmitError::Overloaded`] when full), a worker pool answering on
 //! per-request fresh snapshots, and per-query deadlines whose expirations
 //! are dropped at dequeue and counted — see the [`frontend`] module docs.
+//! `FrontendOptions` construction migrated to a validating builder
+//! ([`FrontendOptions::builder`]); the struct is `#[non_exhaustive]`, so
+//! new serving knobs land without breaking call sites.
+//!
+//! # Elastic control plane
+//!
+//! The [`control`] module makes the serving knobs *live*: an
+//! [`ActiveTuning`] (deadline, admission quota, cache staleness, worker
+//! target) is atomically swappable through a [`TuningHandle`] and read
+//! per-request by the front-end, and a closed-loop [`Controller`] samples
+//! per-interval sojourn/latency histograms to actuate it CoDel-style —
+//! the `elastic_serve` bench shows the controlled ramp holding its p99
+//! SLO where the static configuration collapses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,6 +90,7 @@
 pub mod answer_cache;
 pub mod batch;
 pub mod config;
+pub mod control;
 pub mod frontend;
 pub mod gamma;
 pub mod hitting;
@@ -91,9 +105,14 @@ pub use answer_cache::{
     AnswerCache, AnswerCacheOptions, CacheHit, CacheKey, CacheStats, SupportTracer,
 };
 pub use config::{Config, LevelDetection, McBudget};
+pub use control::{
+    step, ActiveTuning, ControlLog, ControlReason, ControlRecord, ControlState, Controller,
+    ControllerOptions, HistogramSnapshot, IntervalHistogram, TickObservation, TuningHandle,
+    TuningLimits,
+};
 pub use frontend::{
-    Frontend, FrontendOptions, FrontendResponse, FrontendStats, QueryOutcome, SnapshotSource,
-    SubmitError, Ticket,
+    Frontend, FrontendObserver, FrontendOptions, FrontendOptionsBuilder, FrontendResponse,
+    FrontendStats, IntervalSample, QueryOutcome, SnapshotSource, SubmitError, Ticket,
 };
 pub use query::{QueryResult, QueryStats, SimPush};
 pub use serve::{

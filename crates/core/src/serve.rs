@@ -22,7 +22,7 @@
 
 use crate::query::SimPush;
 use crate::workspace::QueryWorkspace;
-use simrank_common::stats::duration_percentile;
+use simrank_common::stats::{bucket_timeline, LatencySummary, TimelineInterval};
 use simrank_common::NodeId;
 use simrank_graph::{GraphStore, GraphUpdate, Partitioner, ShardedStore};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +62,8 @@ pub struct QueryRecord {
     pub epoch: u64,
     /// End-to-end latency (snapshot acquisition + query).
     pub latency: Duration,
+    /// Completion offset from the run's start — the timeline x-axis.
+    pub offset: Duration,
     /// Top-`k` similar nodes (per [`ServeOptions::top_k`]).
     pub top: Vec<(NodeId, f64)>,
 }
@@ -96,41 +98,44 @@ pub struct ServeReport {
     pub compaction_time: Duration,
 }
 
-fn mean(durations: impl Iterator<Item = Duration>) -> Duration {
-    let mut total = Duration::ZERO;
-    let mut count = 0u32;
-    for d in durations {
-        total += d;
-        count += 1;
-    }
-    if count == 0 {
-        Duration::ZERO
-    } else {
-        total / count
-    }
-}
-
 impl ServeReport {
+    /// The whole-run query latency distribution, summarised once.
+    ///
+    /// All the percentile/mean accessors below delegate here, so every
+    /// figure the report exposes agrees with
+    /// [`LatencySummary`]'s nearest-rank definition.
+    pub fn query_latencies(&self) -> LatencySummary {
+        LatencySummary::from_samples(self.queries.iter().map(|q| q.latency))
+    }
+
     /// Mean query latency (zero if no queries ran).
     pub fn avg_query_latency(&self) -> Duration {
-        mean(self.queries.iter().map(|q| q.latency))
+        self.query_latencies().mean()
     }
 
     /// 95th-percentile query latency (zero if no queries ran; nearest-rank
-    /// via [`duration_percentile`]).
+    /// via [`LatencySummary`]).
     pub fn p95_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 95).unwrap_or_default()
+        self.query_latencies().p95().unwrap_or_default()
     }
 
     /// 99th-percentile query latency (zero if no queries ran) — the tail
     /// figure latency SLOs are written against.
     pub fn p99_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 99).unwrap_or_default()
+        self.query_latencies().p99().unwrap_or_default()
     }
 
     /// Mean apply+publish latency per update batch (zero if no updates).
     pub fn avg_update_latency(&self) -> Duration {
-        mean(self.updates.iter().map(|u| u.latency))
+        LatencySummary::from_samples(self.updates.iter().map(|u| u.latency)).mean()
+    }
+
+    /// Per-interval query-latency timeline (completion-time bucketing).
+    ///
+    /// Empty intervals are present with empty summaries, so a stall shows
+    /// as a gap. See [`bucket_timeline`].
+    pub fn timeline(&self, interval: Duration) -> Vec<TimelineInterval> {
+        bucket_timeline(self.queries.iter().map(|q| (q.offset, q.latency)), interval)
     }
 
     /// Query throughput over the run's wall clock.
@@ -216,6 +221,7 @@ pub fn serve_mixed(
                             node: queries[i],
                             epoch: snap.epoch(),
                             latency: t.elapsed(),
+                            offset: start.elapsed(),
                             top: result.top_k(opts.top_k),
                         },
                     ));
@@ -313,25 +319,37 @@ pub struct ShardedServeReport {
 }
 
 impl ShardedServeReport {
+    /// The whole-run query latency distribution, summarised once; every
+    /// percentile/mean accessor below delegates here.
+    pub fn query_latencies(&self) -> LatencySummary {
+        LatencySummary::from_samples(self.queries.iter().map(|q| q.latency))
+    }
+
     /// Mean query latency (zero if no queries ran).
     pub fn avg_query_latency(&self) -> Duration {
-        mean(self.queries.iter().map(|q| q.latency))
+        self.query_latencies().mean()
     }
 
     /// 95th-percentile query latency (zero if no queries ran; nearest-rank
-    /// via [`duration_percentile`]).
+    /// via [`LatencySummary`]).
     pub fn p95_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 95).unwrap_or_default()
+        self.query_latencies().p95().unwrap_or_default()
     }
 
     /// 99th-percentile query latency (zero if no queries ran).
     pub fn p99_query_latency(&self) -> Duration {
-        duration_percentile(self.queries.iter().map(|q| q.latency), 99).unwrap_or_default()
+        self.query_latencies().p99().unwrap_or_default()
     }
 
     /// Mean apply+publish latency per shard sub-batch commit.
     pub fn avg_shard_commit_latency(&self) -> Duration {
-        mean(self.shard_updates.iter().map(|u| u.latency))
+        LatencySummary::from_samples(self.shard_updates.iter().map(|u| u.latency)).mean()
+    }
+
+    /// Per-interval query-latency timeline (completion-time bucketing);
+    /// see [`bucket_timeline`].
+    pub fn timeline(&self, interval: Duration) -> Vec<TimelineInterval> {
+        bucket_timeline(self.queries.iter().map(|q| (q.offset, q.latency)), interval)
     }
 
     /// Query throughput over the run's wall clock.
@@ -472,6 +490,7 @@ pub fn serve_sharded<P: Partitioner + Clone + Sync>(
                             node: queries[i],
                             epoch: snap.cut(),
                             latency: t.elapsed(),
+                            offset: start.elapsed(),
                             top: result.top_k(opts.top_k),
                         },
                     ));
@@ -562,6 +581,12 @@ mod tests {
             .queries
             .iter()
             .any(|q| q.latency == report.p99_query_latency()));
+        // The timeline re-buckets exactly the recorded queries: per-interval
+        // counts sum back to the total, offsets stay within the wall clock.
+        let timeline = report.timeline(Duration::from_millis(1));
+        let bucketed: usize = timeline.iter().map(|iv| iv.latency.count()).sum();
+        assert_eq!(bucketed, report.queries.len());
+        assert!(report.queries.iter().all(|q| q.offset <= report.wall));
     }
 
     #[test]

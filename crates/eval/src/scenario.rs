@@ -39,7 +39,7 @@ use rand::{Rng, SeedableRng};
 use simpush::{
     AnswerCache, AnswerCacheOptions, Frontend, FrontendOptions, QueryOutcome, SimPush, Ticket,
 };
-use simrank_common::stats::duration_percentile;
+use simrank_common::stats::{bucket_timeline, LatencySummary, TimelineInterval};
 use simrank_common::NodeId;
 use simrank_graph::{CsrGraph, GraphStore, GraphUpdate, GraphView};
 use std::sync::Arc;
@@ -321,14 +321,12 @@ pub fn calibrate(
     let frontend = Frontend::start(
         engine,
         store,
-        FrontendOptions {
-            workers: scale.workers,
-            queue_capacity: scale.queue_capacity,
-            default_deadline: None,
-            top_k: scale.top_k,
-            synthetic_service_delay: Duration::ZERO,
-            cache: None,
-        },
+        FrontendOptions::builder()
+            .workers(scale.workers)
+            .queue_capacity(scale.queue_capacity)
+            .default_deadline(None)
+            .top_k(scale.top_k)
+            .build(),
     );
     let start = Instant::now();
     let outcomes = frontend.run_closed_loop(&keys, scale.calib_clients, Duration::from_secs(60));
@@ -413,6 +411,13 @@ pub struct ScenarioReport {
     /// Cache entries invalidated by support-set intersection with a
     /// publish's touched delta.
     pub cache_invalidations: u64,
+    /// `(completion offset, end-to-end latency)` per answered request, in
+    /// submission order — the input to [`ScenarioReport::timeline`].
+    ///
+    /// Offsets derive from the open-loop arrival schedule (arrival +
+    /// queue wait + service). Closed-loop runs have no arrival schedule,
+    /// so this is **empty** for them and the timeline is too.
+    pub completions: Vec<(Duration, Duration)>,
     /// Replayable records of every answered request, in submission order.
     pub answers: Vec<AnswerRecord>,
 }
@@ -439,6 +444,13 @@ impl ScenarioReport {
     pub fn meets(&self, slo: &SloTarget) -> bool {
         self.reject_rate() <= slo.max_reject_rate
             && self.deadline_miss_rate() <= slo.max_deadline_miss_rate
+    }
+
+    /// Per-interval latency timeline over the run (completion-time
+    /// bucketing of [`completions`](Self::completions); see
+    /// [`bucket_timeline`]). Empty for closed-loop scenarios.
+    pub fn timeline(&self, interval: Duration) -> Vec<TimelineInterval> {
+        bucket_timeline(self.completions.iter().copied(), interval)
     }
 
     /// Fraction of answers served from the cache; 0 for uncached runs.
@@ -561,18 +573,15 @@ pub fn run_scenario_cached(
         scale.compaction_threshold,
     ));
     let cache = cache_opts.map(|opts| Arc::new(AnswerCache::new(opts)));
-    let frontend = Frontend::start(
-        engine,
-        store.clone(),
-        FrontendOptions {
-            workers: scale.workers,
-            queue_capacity: scale.queue_capacity,
-            default_deadline: deadline,
-            top_k: scale.top_k,
-            synthetic_service_delay: Duration::ZERO,
-            cache: cache.clone(),
-        },
-    );
+    let mut frontend_opts = FrontendOptions::builder()
+        .workers(scale.workers)
+        .queue_capacity(scale.queue_capacity)
+        .default_deadline(deadline)
+        .top_k(scale.top_k);
+    if let Some(cache) = cache.clone() {
+        frontend_opts = frontend_opts.cache(cache);
+    }
+    let frontend = Frontend::start(engine, store.clone(), frontend_opts.build());
 
     // Writer: pace the whole update stream across the expected duration so
     // epochs advance under live traffic (exactly like frontend_serve). In
@@ -597,26 +606,36 @@ pub fn run_scenario_cached(
         })
     };
 
-    // Drive the traffic and collect outcomes in submission order.
+    // Drive the traffic and collect outcomes in submission order, each
+    // paired with its arrival offset (open loop only — closed loop has no
+    // arrival schedule, so its completions carry no offset).
     let start = Instant::now();
-    let outcomes: Vec<QueryOutcome> = match scenario.arrivals {
+    let outcomes: Vec<(Option<Duration>, QueryOutcome)> = match scenario.arrivals {
         ArrivalShape::OpenLoop { .. } => {
             let schedule = arrivals.expect("open loop has a schedule");
-            let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(requests);
+            let mut tickets: Vec<(Duration, Option<Ticket>)> = Vec::with_capacity(requests);
             for (i, &offset) in schedule.iter().enumerate() {
                 let target = start + offset;
                 let now = Instant::now();
                 if target > now {
                     std::thread::sleep(target - now);
                 }
-                tickets.push(frontend.try_submit(keys[i]).ok());
+                tickets.push((offset, frontend.try_submit(keys[i]).ok()));
             }
-            tickets.into_iter().flatten().map(Ticket::wait).collect()
+            tickets
+                .into_iter()
+                .filter_map(|(offset, t)| t.map(|t| (Some(offset), t.wait())))
+                .collect()
         }
         ArrivalShape::ClosedLoop { clients } => frontend
             .run_closed_loop(&keys, clients, Duration::from_secs(60))
             .into_iter()
-            .map(|r| r.expect("closed-loop admission cannot time out at these scales"))
+            .map(|r| {
+                (
+                    None,
+                    r.expect("closed-loop admission cannot time out at these scales"),
+                )
+            })
             .collect(),
     };
     let wall = start.elapsed();
@@ -641,12 +660,17 @@ pub fn run_scenario_cached(
 
     let mut latencies = Vec::with_capacity(outcomes.len());
     let mut queue_waits = Vec::with_capacity(outcomes.len());
+    let mut completions = Vec::with_capacity(outcomes.len());
     let mut answers = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
+    for (arrival, outcome) in outcomes {
         match outcome {
             QueryOutcome::Answered(r) => {
-                latencies.push(r.queue_wait + r.service);
+                let latency = r.queue_wait + r.service;
+                latencies.push(latency);
                 queue_waits.push(r.queue_wait);
+                if let Some(arrival) = arrival {
+                    completions.push((arrival + latency, latency));
+                }
                 answers.push(AnswerRecord {
                     node: r.node,
                     epoch: r.epoch,
@@ -654,6 +678,9 @@ pub fn run_scenario_cached(
                 });
             }
             QueryOutcome::DeadlineMissed { queue_wait, .. } => queue_waits.push(queue_wait),
+            // Scenarios never cancel their own tickets; an external
+            // canceller (a controller test harness) is data, not an error.
+            QueryOutcome::Cancelled { .. } => {}
             QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
         }
     }
@@ -662,6 +689,7 @@ pub fn run_scenario_cached(
     } else {
         queue_waits.iter().sum::<Duration>() / queue_waits.len() as u32
     };
+    let latency_summary = LatencySummary::from_samples(latencies.iter().copied());
 
     ScenarioReport {
         name: scenario.name,
@@ -678,9 +706,9 @@ pub fn run_scenario_cached(
         } else {
             stats.answered as f64 / wall.as_secs_f64()
         },
-        p50_latency: duration_percentile(latencies.iter().copied(), 50),
-        p95_latency: duration_percentile(latencies.iter().copied(), 95),
-        p99_latency: duration_percentile(latencies.iter().copied(), 99),
+        p50_latency: latency_summary.p50(),
+        p95_latency: latency_summary.p95(),
+        p99_latency: latency_summary.p99(),
         avg_queue_wait,
         max_queue_depth: stats.max_queue_depth,
         final_epoch,
@@ -689,6 +717,7 @@ pub fn run_scenario_cached(
         cache_misses: stats.cache_misses,
         cache_evictions: cache.as_ref().map_or(0, |c| c.stats().evictions),
         cache_invalidations: cache.as_ref().map_or(0, |c| c.stats().invalidations),
+        completions,
         answers,
     }
 }
@@ -835,6 +864,9 @@ mod tests {
         assert!(report.throughput_qps > 0.0);
         assert!(report.p99_latency.is_some());
         assert!(report.p50_latency <= report.p99_latency);
+        // Closed loop has no arrival schedule → no completion offsets.
+        assert!(report.completions.is_empty());
+        assert!(report.timeline(Duration::from_millis(10)).is_empty());
         // Scan keys: submission order is id order, wrap-around.
         for (i, rec) in report.answers.iter().enumerate() {
             assert_eq!(rec.node as usize, i % 80);
@@ -952,5 +984,11 @@ mod tests {
         assert!(
             report.final_epoch as usize <= report.updates.len().div_ceil(report.updates_per_batch)
         );
+        // One completion event per answered request; the timeline
+        // re-buckets exactly those events.
+        assert_eq!(report.completions.len(), report.answered as usize);
+        let timeline = report.timeline(Duration::from_millis(20));
+        let bucketed: usize = timeline.iter().map(|iv| iv.latency.count()).sum();
+        assert_eq!(bucketed, report.answered as usize);
     }
 }

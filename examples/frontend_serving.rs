@@ -36,14 +36,12 @@ fn main() {
     let frontend = Frontend::start(
         &engine,
         store.clone(),
-        FrontendOptions {
-            workers: 2,
-            queue_capacity: 16,
-            default_deadline: Some(Duration::from_millis(250)),
-            top_k: 3,
-            synthetic_service_delay: Duration::ZERO,
-            cache: None,
-        },
+        FrontendOptions::builder()
+            .workers(2)
+            .queue_capacity(16)
+            .default_deadline(Some(Duration::from_millis(250)))
+            .top_k(3)
+            .build(),
     );
 
     // A writer keeps committing update batches the whole time, so answers
@@ -103,6 +101,7 @@ fn main() {
         match ticket.wait() {
             QueryOutcome::Answered(r) => answered.push((u, r.epoch, r.top)),
             QueryOutcome::DeadlineMissed { .. } => missed += 1,
+            QueryOutcome::Cancelled { .. } => unreachable!("this example never cancels"),
             QueryOutcome::Failed { node } => panic!("worker failed serving node {node}"),
         }
     }

@@ -189,14 +189,12 @@ fn frontend_answers_replay_bit_identically_on_their_epochs() {
     let frontend = Frontend::start(
         &engine,
         store.clone(),
-        FrontendOptions {
-            workers: 3,
-            queue_capacity: 64,
-            default_deadline: None,
-            top_k: TOP_K,
-            synthetic_service_delay: Duration::ZERO,
-            cache: None,
-        },
+        FrontendOptions::builder()
+            .workers(3)
+            .queue_capacity(64)
+            .default_deadline(None)
+            .top_k(TOP_K)
+            .build(),
     );
 
     // Writer: commit every batch with a small pause so queries land on a
@@ -273,14 +271,12 @@ fn frontend_on_a_sharded_store_replays_cuts_identically() {
     let frontend = Frontend::start(
         &engine,
         store.clone(),
-        FrontendOptions {
-            workers: 2,
-            queue_capacity: 32,
-            default_deadline: None,
-            top_k: 2,
-            synthetic_service_delay: Duration::ZERO,
-            cache: None,
-        },
+        FrontendOptions::builder()
+            .workers(2)
+            .queue_capacity(32)
+            .default_deadline(None)
+            .top_k(2)
+            .build(),
     );
     let writer = {
         let store = store.clone();
