@@ -135,6 +135,19 @@ fn required_paths(bench: &str) -> Option<&'static [&'static str]> {
             "verdict.static_misses_slo_at_high_load",
             "verdict.controlled_p99_not_above_static_at_high_load",
         ]),
+        "tiered_query" => Some(&[
+            "smoke",
+            "epsilon",
+            "graph.edges",
+            "layout.page_size",
+            "layout.file_bytes",
+            "layout.budget_bytes",
+            "layout.over_budget",
+            "queries",
+            "top_k",
+            "backends",
+            "answers_match",
+        ]),
         _ => None,
     }
 }
@@ -482,6 +495,47 @@ const CACHED_SMOKE_NAMED_BOUNDS: &[(&str, &[Bound])] = &[
     ),
 ];
 
+/// Keys every `backends` element of a `tiered_query` snapshot must carry —
+/// one storage adaptor backend each, with the cold/warm/pinned sweeps
+/// emitting the same counter set.
+const TIERED_BACKEND_KEYS: &[&str] = &[
+    "name",
+    "open_ns",
+    "placement.pinned_segments",
+    "placement.pinned_bytes",
+    "cold.wall_ns",
+    "cold.ns_per_query",
+    "cold.queries_per_sec",
+    "cold.pinned_reads",
+    "cold.page_hits",
+    "cold.page_faults",
+    "cold.spill_hits",
+    "cold.adaptor_reads",
+    "cold.adaptor_bytes",
+    "warm.wall_ns",
+    "warm.ns_per_query",
+    "warm.queries_per_sec",
+    "warm.pinned_reads",
+    "warm.page_hits",
+    "warm.page_faults",
+    "warm.spill_hits",
+    "warm.adaptor_reads",
+    "warm.adaptor_bytes",
+    "pinned.wall_ns",
+    "pinned.ns_per_query",
+    "pinned.queries_per_sec",
+    "pinned.pinned_reads",
+    "pinned.page_hits",
+    "pinned.page_faults",
+    "pinned.spill_hits",
+    "pinned.adaptor_reads",
+    "pinned.adaptor_bytes",
+];
+
+/// The adaptor backends every `tiered_query` snapshot must report — the
+/// tiering comparison is only meaningful with all three tiers present.
+const REQUIRED_BACKENDS: &[&str] = &["mem", "fs", "mmap"];
+
 /// Required keys for every element of an `elastic_serve` snapshot's
 /// `ramp` array — the segment identity plus the full static/controlled
 /// side-by-side accounting.
@@ -544,6 +598,35 @@ const ELASTIC_BOUNDS: &[Bound] = &[
     Bound::between("ramp[*].controlled.deadline_miss_rate", 0.0, 1.0),
 ];
 
+/// Range assertions for `tiered_query` snapshots, applied at both scales.
+/// These pin the out-of-core invariants the bench exists to prove: the
+/// file must exceed the pin budget (so cold sweeps actually fault), the
+/// warm sweep must fault **zero** new pages (the write-once page cache
+/// retains everything), and the fully-pinned control must never touch the
+/// adaptor after open.
+const TIERED_BOUNDS: &[Bound] = &[
+    Bound::at_least("graph.nodes", 2.0),
+    Bound::at_least("graph.edges", 1.0),
+    Bound::at_least("epsilon", 1e-6),
+    Bound::at_least("layout.page_size", 256.0),
+    Bound::at_least("layout.file_bytes", 1.0),
+    Bound::at_least("layout.budget_bytes", 1.0),
+    Bound::at_least("queries", 1.0),
+    Bound::at_least("top_k", 1.0),
+    Bound::at_least("backends[*].open_ns", 1.0),
+    Bound::at_least("backends[*].placement.pinned_segments", 1.0),
+    Bound::at_least("backends[*].placement.pinned_bytes", 1.0),
+    Bound::at_least("backends[*].cold.queries_per_sec", 0.1),
+    Bound::at_least("backends[*].warm.queries_per_sec", 0.1),
+    Bound::at_least("backends[*].pinned.queries_per_sec", 0.1),
+    Bound::at_least("backends[*].cold.page_faults", 1.0),
+    Bound::at_most("backends[*].warm.page_faults", 0.0),
+    Bound::at_most("backends[*].warm.adaptor_reads", 0.0),
+    Bound::at_most("backends[*].pinned.page_faults", 0.0),
+    Bound::at_most("backends[*].pinned.adaptor_reads", 0.0),
+    Bound::at_least("backends[*].pinned.pinned_reads", 1.0),
+];
+
 /// Range assertions applied to every snapshot of a family. Each doubles
 /// as a presence check (a path resolving to nothing is a violation).
 fn family_bounds(bench: &str) -> &'static [Bound] {
@@ -555,6 +638,7 @@ fn family_bounds(bench: &str) -> &'static [Bound] {
         "scenario_serve" => SCENARIO_BOUNDS,
         "cached_serve" => CACHED_BOUNDS,
         "elastic_serve" => ELASTIC_BOUNDS,
+        "tiered_query" => TIERED_BOUNDS,
         _ => &[],
     }
 }
@@ -780,6 +864,57 @@ fn check_elastic_ramp(path: &str, doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `tiered_query` snapshot's `backends` array and the two
+/// boolean acceptance bits.
+///
+/// Per-element schema first, then every [`REQUIRED_BACKENDS`] name exactly
+/// once, then the non-negotiables: `answers_match` (every tiered top-k
+/// bit-identical to the in-RAM CSR) and `layout.over_budget` (the file was
+/// genuinely larger than the pin budget — otherwise the cold sweep never
+/// paged and the run proves nothing).
+fn check_tiered_backends(path: &str, doc: &Json) -> Result<(), String> {
+    let backends = doc
+        .path("backends")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: \"backends\" must be an array"))?;
+    let mut names: Vec<&str> = Vec::with_capacity(backends.len());
+    for (i, entry) in backends.iter().enumerate() {
+        let missing = json::missing_paths(entry, TIERED_BACKEND_KEYS);
+        if !missing.is_empty() {
+            return Err(format!(
+                "{path}: backends[{i}] missing required keys {missing:?}"
+            ));
+        }
+        let name = entry
+            .path("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: backends[{i}].name must be a string"))?;
+        names.push(name);
+    }
+    for required in REQUIRED_BACKENDS {
+        match names.iter().filter(|n| *n == required).count() {
+            1 => {}
+            0 => return Err(format!("{path}: backend \"{required}\" is missing")),
+            k => {
+                return Err(format!(
+                    "{path}: backend \"{required}\" appears {k} times (must be unique)"
+                ))
+            }
+        }
+    }
+    if doc.path("answers_match").and_then(Json::as_bool) != Some(true) {
+        return Err(format!(
+            "{path}: answers_match must be true — a tiered backend diverged from the RAM CSR"
+        ));
+    }
+    if doc.path("layout.over_budget").and_then(Json::as_bool) != Some(true) {
+        return Err(format!(
+            "{path}: layout.over_budget must be true — the SRGD file must exceed the pin budget"
+        ));
+    }
+    Ok(())
+}
+
 /// Designated higher-is-better throughput metrics for `--compare`.
 ///
 /// Chosen so a smoke run (tiny graph) compared against the committed full
@@ -798,6 +933,9 @@ fn throughput_metrics(bench: &str) -> Option<&'static [&'static str]> {
         // Only the calibration throughput is scale-robust here: ramp
         // segment qps is set by the offered load, not the machine.
         "elastic_serve" => Some(&["calibration.capacity_qps"]),
+        // The warm sweep is the scale-robust one: a smoke graph is tiny,
+        // so its fully-cached queries must beat the committed full run.
+        "tiered_query" => Some(&["backends[*].warm.queries_per_sec"]),
         _ => None,
     }
 }
@@ -870,6 +1008,9 @@ fn check_file(path: &str) -> Result<String, String> {
     }
     if bench == "elastic_serve" {
         check_elastic_ramp(path, &doc)?;
+    }
+    if bench == "tiered_query" {
+        check_tiered_backends(path, &doc)?;
     }
 
     // Range assertions: schema-valid but numerically nonsense fails too.

@@ -1,0 +1,322 @@
+//! `tiered_query` — SimPush query latency on an out-of-core graph served
+//! through each storage adaptor backend.
+//!
+//! The storage tier's promise is that a graph whose CSR exceeds the RAM
+//! budget still answers queries **bit-identically** through
+//! [`DiskGraph`], paying only tier-dependent
+//! latency. This bin measures exactly that: one generated graph is written
+//! to an `SRGD` file whose size exceeds the configured pin budget, then
+//! opened through each backend ([`MemAdaptor`](simrank_graph::MemAdaptor),
+//! [`FsAdaptor`](simrank_graph::FsAdaptor),
+//! [`MmapAdaptor`](simrank_graph::MmapAdaptor)) and queried three ways:
+//!
+//! * **cold** — fresh open at the constrained budget: offset segments pin
+//!   (the cost model prefers them 8:1), element pages fault in on demand;
+//! * **warm** — the same queries again on the same instance: the page
+//!   cache is populated, so zero new faults is a hard invariant;
+//! * **pinned** — a fresh open with an unlimited budget: everything in
+//!   RAM, the control the tiers are measured against.
+//!
+//! Every answer (top-k) is compared against querying the in-RAM
+//! [`CsrGraph`](simrank_graph::CsrGraph) directly; `answers_match` in the output is the
+//! acceptance-criteria bit. Emits `BENCH_tiered_query.json`; CI validates
+//! it with `check_bench_json` (which pins the warm-faults-zero and
+//! over-budget invariants) and compares warm throughput against the
+//! committed full-run snapshot.
+//!
+//! ```text
+//! cargo run --release -p simrank_bench --bin tiered_query [--smoke] [OUT.json]
+//! ```
+
+use simpush::{Config, SimPush};
+use simrank_common::mem::LogicalBytes;
+use simrank_graph::storage::write_disk_graph;
+use simrank_graph::{gen, DiskGraph, DiskGraphOptions, GraphView, NodeId, TierStats};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct BinScale {
+    nodes: usize,
+    out_deg: usize,
+    epsilon: f64,
+    page_size: u32,
+    budget_bytes: u64,
+    queries: usize,
+    top_k: usize,
+}
+
+const FULL: BinScale = BinScale {
+    nodes: 60_000,
+    out_deg: 16,
+    epsilon: 0.05,
+    page_size: 16 * 1024,
+    budget_bytes: 2 * 1024 * 1024,
+    queries: 24,
+    top_k: 10,
+};
+
+/// CI scale: small graph, tiny budget — still strictly over budget, so
+/// the paging, spill and placement paths all execute in a few seconds.
+const SMOKE: BinScale = BinScale {
+    nodes: 3_000,
+    out_deg: 8,
+    epsilon: 0.05,
+    page_size: 4 * 1024,
+    budget_bytes: 64 * 1024,
+    queries: 8,
+    top_k: 10,
+};
+
+const COPY_PROB: f64 = 0.75;
+const GRAPH_SEED: u64 = 7;
+
+/// One measured query sweep: wall time plus the tier-counter deltas it
+/// caused on the graph it ran against.
+struct Sweep {
+    wall_ns: u128,
+    queries: usize,
+    stats: TierStats,
+}
+
+impl Sweep {
+    fn ns_per_query(&self) -> u128 {
+        self.wall_ns / self.queries.max(1) as u128
+    }
+
+    fn queries_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.queries as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Runs the query set once against `disk`, checking every top-k against
+/// the reference answers. Returns the sweep metrics; flips `ok` to false
+/// on any divergence.
+fn sweep(
+    engine: &SimPush,
+    disk: &DiskGraph,
+    queries: &[NodeId],
+    reference: &[Vec<(NodeId, f64)>],
+    k: usize,
+    ok: &mut bool,
+) -> Sweep {
+    let before = disk.stats();
+    let t = Instant::now();
+    for (&u, want) in queries.iter().zip(reference) {
+        let got = engine.query_seeded(disk, u).top_k(k);
+        if &got != want {
+            *ok = false;
+            eprintln!(
+                "[tiered_query] DIVERGENCE: top-{k} for u={u} on {} differs from RAM",
+                disk.tier()
+            );
+        }
+    }
+    let wall_ns = t.elapsed().as_nanos();
+    Sweep {
+        wall_ns,
+        queries: queries.len(),
+        stats: disk.stats().delta_since(&before),
+    }
+}
+
+fn sweep_entry(json: &mut String, label: &str, s: &Sweep, last: bool) {
+    writeln!(json, "      \"{label}\": {{").unwrap();
+    writeln!(json, "        \"wall_ns\": {},", s.wall_ns).unwrap();
+    writeln!(json, "        \"ns_per_query\": {},", s.ns_per_query()).unwrap();
+    writeln!(
+        json,
+        "        \"queries_per_sec\": {:.1},",
+        s.queries_per_sec()
+    )
+    .unwrap();
+    writeln!(json, "        \"pinned_reads\": {},", s.stats.pinned_reads).unwrap();
+    writeln!(json, "        \"page_hits\": {},", s.stats.page_hits).unwrap();
+    writeln!(json, "        \"page_faults\": {},", s.stats.page_faults).unwrap();
+    writeln!(json, "        \"spill_hits\": {},", s.stats.spill_hits).unwrap();
+    writeln!(
+        json,
+        "        \"adaptor_reads\": {},",
+        s.stats.adaptor_reads
+    )
+    .unwrap();
+    writeln!(json, "        \"adaptor_bytes\": {}", s.stats.adaptor_bytes).unwrap();
+    writeln!(json, "      }}{}", if last { "" } else { "," }).unwrap();
+}
+
+struct BackendResult {
+    name: &'static str,
+    open_ns: u128,
+    pinned_segments: usize,
+    pinned_bytes: u64,
+    cold: Sweep,
+    warm: Sweep,
+    pinned: Sweep,
+}
+
+fn backend_entry(json: &mut String, r: &BackendResult, last: bool) {
+    writeln!(json, "    {{").unwrap();
+    writeln!(json, "      \"name\": \"{}\",", r.name).unwrap();
+    writeln!(json, "      \"open_ns\": {},", r.open_ns).unwrap();
+    writeln!(
+        json,
+        "      \"placement\": {{ \"pinned_segments\": {}, \"pinned_bytes\": {} }},",
+        r.pinned_segments, r.pinned_bytes
+    )
+    .unwrap();
+    sweep_entry(json, "cold", &r.cold, false);
+    sweep_entry(json, "warm", &r.warm, false);
+    sweep_entry(json, "pinned", &r.pinned, true);
+    writeln!(json, "    }}{}", if last { "" } else { "," }).unwrap();
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_tiered_query.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if smoke { SMOKE } else { FULL };
+
+    let g = gen::copying_web(scale.nodes, scale.out_deg, COPY_PROB, GRAPH_SEED);
+    let engine = SimPush::new(Config::new(scale.epsilon));
+    eprintln!(
+        "[tiered_query] graph n={} m={} csr_bytes={}{}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.logical_bytes(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let path = std::env::temp_dir().join(format!("tiered-query-{}.srgd", std::process::id()));
+    write_disk_graph(&g, &path, scale.page_size).expect("write SRGD file");
+
+    let n = g.num_nodes();
+    let queries: Vec<NodeId> = (0..scale.queries)
+        .map(|i| ((i * 7919 + 13) % n) as NodeId)
+        .collect();
+    let reference: Vec<Vec<(NodeId, f64)>> = queries
+        .iter()
+        .map(|&u| engine.query_seeded(&g, u).top_k(scale.top_k))
+        .collect();
+
+    let mut answers_match = true;
+    let mut results: Vec<BackendResult> = Vec::with_capacity(3);
+    let opts = DiskGraphOptions::with_budget(scale.budget_bytes);
+    type Opener = fn(&std::path::Path, DiskGraphOptions) -> DiskGraph;
+    let openers: [(&'static str, Opener); 3] = [
+        ("mem", |p, o| DiskGraph::open_mem(p, o).expect("open mem")),
+        ("fs", |p, o| DiskGraph::open_fs(p, o).expect("open fs")),
+        ("mmap", |p, o| {
+            DiskGraph::open_mmap(p, o).expect("open mmap")
+        }),
+    ];
+    let mut file_bytes = 0u64;
+    for (name, open) in openers {
+        let t = Instant::now();
+        let disk = open(&path, opts);
+        let open_ns = t.elapsed().as_nanos();
+        file_bytes = disk.file_bytes();
+        assert!(
+            disk.file_bytes() > scale.budget_bytes,
+            "the benchmark premise is a file larger than the pin budget \
+             ({} vs {})",
+            disk.file_bytes(),
+            scale.budget_bytes
+        );
+        let placement = disk.placement();
+        let (pinned_segments, pinned_bytes) = (placement.pinned_segments(), placement.pinned_bytes);
+        let cold = sweep(
+            &engine,
+            &disk,
+            &queries,
+            &reference,
+            scale.top_k,
+            &mut answers_match,
+        );
+        let warm = sweep(
+            &engine,
+            &disk,
+            &queries,
+            &reference,
+            scale.top_k,
+            &mut answers_match,
+        );
+        let pinned_graph = open(&path, DiskGraphOptions::fully_pinned());
+        let pinned = sweep(
+            &engine,
+            &pinned_graph,
+            &queries,
+            &reference,
+            scale.top_k,
+            &mut answers_match,
+        );
+        eprintln!(
+            "[tiered_query] {name:>4}: open {:.1}ms, cold {:.0} q/s ({} faults, {} spills), warm {:.0} q/s ({} faults), pinned {:.0} q/s",
+            open_ns as f64 / 1e6,
+            cold.queries_per_sec(),
+            cold.stats.page_faults,
+            cold.stats.spill_hits,
+            warm.queries_per_sec(),
+            warm.stats.page_faults,
+            pinned.queries_per_sec(),
+        );
+        results.push(BackendResult {
+            name,
+            open_ns,
+            pinned_segments,
+            pinned_bytes,
+            cold,
+            warm,
+            pinned,
+        });
+    }
+    let _ = std::fs::remove_file(&path);
+
+    let mut json = String::new();
+    // Hand-rolled JSON: the workspace intentionally has no serde. The
+    // check_bench_json binary validates schema AND numeric ranges in CI.
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"tiered_query\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"graph\": {{ \"family\": \"copying_web\", \"nodes\": {}, \"out_degree\": {}, \"copy_prob\": {COPY_PROB}, \"seed\": {GRAPH_SEED}, \"edges\": {}, \"csr_bytes\": {} }},",
+        scale.nodes,
+        scale.out_deg,
+        g.num_edges(),
+        g.logical_bytes()
+    )
+    .unwrap();
+    writeln!(json, "  \"epsilon\": {},", scale.epsilon).unwrap();
+    writeln!(
+        json,
+        "  \"layout\": {{ \"page_size\": {}, \"file_bytes\": {file_bytes}, \"budget_bytes\": {}, \"over_budget\": {} }},",
+        scale.page_size,
+        scale.budget_bytes,
+        file_bytes > scale.budget_bytes
+    )
+    .unwrap();
+    writeln!(json, "  \"queries\": {},", scale.queries).unwrap();
+    writeln!(json, "  \"top_k\": {},", scale.top_k).unwrap();
+    writeln!(json, "  \"backends\": [").unwrap();
+    let count = results.len();
+    for (i, r) in results.iter().enumerate() {
+        backend_entry(&mut json, r, i + 1 == count);
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(json, "  \"answers_match\": {answers_match}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write benchmark snapshot");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    assert!(answers_match, "tiered answers diverged from the RAM CSR");
+}

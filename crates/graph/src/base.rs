@@ -1,0 +1,126 @@
+//! [`GraphBase`]: the immutable snapshot base a
+//! [`DeltaOverlay`](crate::DeltaOverlay) layers on.
+//!
+//! Before the storage tier existed, an overlay's base was always an
+//! in-memory [`CsrGraph`]. With out-of-core graphs the base can instead be
+//! a [`DiskGraph`] — same sorted, deterministic
+//! [`GraphView`], but neighbour lists are resolved through a storage
+//! [`Adaptor`](crate::storage::Adaptor) and only the segments the placement
+//! policy pinned live in RAM. `GraphBase` is the enum that lets
+//! [`DeltaOverlay`](crate::DeltaOverlay) and
+//! [`GraphStore`](crate::GraphStore) serve either without generics leaking
+//! through the whole serving stack.
+
+use crate::csr::CsrGraph;
+use crate::storage::DiskGraph;
+use crate::view::GraphView;
+use simrank_common::NodeId;
+
+/// An immutable graph base: fully in RAM, or disk-resident behind the
+/// storage tier.
+///
+/// Both variants present the same [`GraphView`] contract (sorted neighbour
+/// lists, contiguous ids), so every algorithm and every overlay query is
+/// bit-identical across them — the `prop_disk` suite pins this.
+// A `GraphBase` is constructed once per epoch base and always held behind
+// an `Arc`; boxing the larger `Disk` variant would put an extra pointer
+// chase on every neighbour resolution to save a few hundred bytes per
+// store, which is the wrong trade.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum GraphBase {
+    /// The whole CSR lives in memory.
+    Ram(CsrGraph),
+    /// The CSR lives in a storage-tiered file; see [`crate::storage`].
+    Disk(DiskGraph),
+}
+
+impl GraphBase {
+    /// The in-memory CSR, if this base is RAM-resident.
+    pub fn as_ram(&self) -> Option<&CsrGraph> {
+        match self {
+            GraphBase::Ram(g) => Some(g),
+            GraphBase::Disk(_) => None,
+        }
+    }
+
+    /// The disk-resident graph, if this base lives behind the storage tier.
+    pub fn as_disk(&self) -> Option<&DiskGraph> {
+        match self {
+            GraphBase::Ram(_) => None,
+            GraphBase::Disk(g) => Some(g),
+        }
+    }
+
+    /// True if neighbour reads may fault pages in from storage.
+    pub fn is_disk(&self) -> bool {
+        matches!(self, GraphBase::Disk(_))
+    }
+}
+
+impl From<CsrGraph> for GraphBase {
+    fn from(g: CsrGraph) -> Self {
+        GraphBase::Ram(g)
+    }
+}
+
+impl From<DiskGraph> for GraphBase {
+    fn from(g: DiskGraph) -> Self {
+        GraphBase::Disk(g)
+    }
+}
+
+impl GraphView for GraphBase {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        match self {
+            GraphBase::Ram(g) => g.num_nodes(),
+            GraphBase::Disk(g) => g.num_nodes(),
+        }
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        match self {
+            GraphBase::Ram(g) => g.num_edges(),
+            GraphBase::Disk(g) => g.num_edges(),
+        }
+    }
+
+    #[inline]
+    fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self {
+            GraphBase::Ram(g) => g.out_neighbors(v),
+            GraphBase::Disk(g) => g.out_neighbors(v),
+        }
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self {
+            GraphBase::Ram(g) => g.in_neighbors(v),
+            GraphBase::Disk(g) => g.in_neighbors(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn ram_base_delegates_to_csr() {
+        let csr = GraphBuilder::new().with_edges([(0, 1), (1, 2)]).build();
+        let base = GraphBase::from(csr.clone());
+        assert!(base.as_ram().is_some());
+        assert!(base.as_disk().is_none());
+        assert!(!base.is_disk());
+        assert_eq!(base.num_nodes(), 3);
+        assert_eq!(base.num_edges(), 2);
+        for v in 0..3 {
+            assert_eq!(base.out_neighbors(v), csr.out_neighbors(v));
+            assert_eq!(base.in_neighbors(v), csr.in_neighbors(v));
+        }
+    }
+}

@@ -121,9 +121,15 @@ impl CsrGraph {
             .unwrap_or(0)
     }
 
-    /// Internal accessor used by [`crate::io`] for serialisation.
+    /// Internal accessor used by [`crate::io`] and [`crate::storage`] for
+    /// serialisation.
     pub(crate) fn raw_out(&self) -> (&[usize], &[NodeId]) {
         (&self.out_offsets, &self.out_targets)
+    }
+
+    /// Internal accessor used by [`crate::storage`] for serialisation.
+    pub(crate) fn raw_in(&self) -> (&[usize], &[NodeId]) {
+        (&self.in_offsets, &self.in_sources)
     }
 
     /// Checks every structural invariant; used by tests and after IO loads.

@@ -14,6 +14,13 @@
 //!
 //! The in-adjacency is rebuilt on load (O(m), cheaper than doubling the
 //! file).
+//!
+//! `SRG1` is a *load-then-query* format: the whole graph is deserialised
+//! into RAM. For graphs bigger than memory, [`crate::storage`] defines
+//! the page-aligned `SRGD` layout queryable in place through a
+//! [`DiskGraph`](crate::storage::DiskGraph);
+//! [`convert_binary`](crate::storage::convert_binary) migrates an `SRG1`
+//! snapshot to it.
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;

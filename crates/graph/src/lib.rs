@@ -28,10 +28,18 @@
 //!   paper's nine datasets (see `DESIGN.md` §4).
 //! * [`io`] — whitespace edge-list text format (SNAP-style, `#` comments)
 //!   and a compact binary snapshot format for dataset caching.
+//! * [`storage`] — the out-of-core tier: the `SRGD` on-disk CSR layout with
+//!   a checksummed superblock, pluggable storage [`Adaptor`]s (heap,
+//!   buffered file, mmap), cost-model-driven segment placement, and
+//!   [`DiskGraph`], which serves [`GraphView`] queries straight off the file
+//!   so every algorithm runs on graphs larger than RAM unchanged.
+//! * [`base`] — [`GraphBase`], the RAM-or-disk snapshot base that
+//!   [`DeltaOverlay`] and [`GraphStore`] layer live updates onto.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod base;
 pub mod builder;
 pub mod csr;
 pub mod gen;
@@ -40,9 +48,11 @@ pub mod mutable;
 pub mod overlay;
 pub mod sharded;
 pub mod stats;
+pub mod storage;
 pub mod store;
 pub mod view;
 
+pub use base::GraphBase;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use mutable::MutableGraph;
@@ -52,5 +62,9 @@ pub use sharded::{
 };
 pub use simrank_common::NodeId;
 pub use stats::GraphStats;
+pub use storage::{
+    Adaptor, AffineStorageProfile, DiskGraph, DiskGraphOptions, FsAdaptor, MemAdaptor, MmapAdaptor,
+    PlacementReport, SegmentId, TierStats,
+};
 pub use store::{GraphSnapshot, GraphStore, GraphUpdate, PublishInfo};
 pub use view::GraphView;

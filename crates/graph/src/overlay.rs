@@ -4,11 +4,12 @@
 //! queried continuously. [`MutableGraph`](crate::MutableGraph) supports
 //! in-place updates but cannot be shared with concurrent readers; an
 //! immutable [`CsrGraph`] can be shared but not updated.
-//! `DeltaOverlay` is the piece in between: an `Arc`-shared CSR **base** plus
-//! a small map of *touched* nodes whose current neighbour lists are
-//! materialised in full, sorted. Untouched nodes read straight from the
-//! base CSR slices, so the overlay's memory and clone cost scale with the
-//! update churn, not with the graph.
+//! `DeltaOverlay` is the piece in between: an `Arc`-shared **base** — a
+//! [`GraphBase`], either an in-memory CSR or a storage-tiered
+//! [`DiskGraph`](crate::storage::DiskGraph) — plus a small map of *touched*
+//! nodes whose current neighbour lists are materialised in full, sorted.
+//! Untouched nodes read straight from the base, so the overlay's memory and
+//! clone cost scale with the update churn, not with the graph.
 //!
 //! # Determinism
 //!
@@ -21,6 +22,7 @@
 //! results on either representation. The `prop_store` property suite pins
 //! this.
 
+use crate::base::GraphBase;
 use crate::csr::CsrGraph;
 use crate::view::GraphView;
 use simrank_common::mem::LogicalBytes;
@@ -35,7 +37,7 @@ use std::sync::Arc;
 /// [`GraphStore`](crate::GraphStore) compaction threshold — never `O(m)`.
 #[derive(Debug, Clone)]
 pub struct DeltaOverlay {
-    base: Arc<CsrGraph>,
+    base: Arc<GraphBase>,
     /// Materialised *current* out-lists of touched nodes (sorted).
     // simcheck: allow(nondet-iteration) — reads are keyed; the only
     // iterations are touched_iter (consumers count or sort) and the
@@ -61,7 +63,7 @@ pub struct DeltaOverlay {
 
 impl DeltaOverlay {
     /// Creates an empty overlay over `base` (reads are pure pass-through).
-    pub fn new(base: Arc<CsrGraph>) -> Self {
+    pub fn new(base: Arc<GraphBase>) -> Self {
         let m = base.num_edges();
         Self {
             base,
@@ -76,8 +78,8 @@ impl DeltaOverlay {
         }
     }
 
-    /// The immutable CSR base this overlay layers on top of.
-    pub fn base(&self) -> &Arc<CsrGraph> {
+    /// The immutable base this overlay layers on top of (RAM or disk).
+    pub fn base(&self) -> &Arc<GraphBase> {
         &self.base
     }
 
@@ -264,13 +266,13 @@ mod tests {
     use super::*;
     use crate::GraphBuilder;
 
-    fn base() -> Arc<CsrGraph> {
+    fn base() -> Arc<GraphBase> {
         // 0 → 1, 0 → 2, 1 → 3, 2 → 3
-        Arc::new(
+        Arc::new(GraphBase::from(
             GraphBuilder::new()
                 .with_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
                 .build(),
-        )
+        ))
     }
 
     #[test]
@@ -383,7 +385,7 @@ mod tests {
     fn rebuild_of_clean_overlay_equals_base() {
         let b = base();
         let o = DeltaOverlay::new(b.clone());
-        assert_eq!(&o.rebuild(), &*b);
+        assert_eq!(Some(&o.rebuild()), b.as_ram());
     }
 
     #[test]
@@ -400,7 +402,7 @@ mod tests {
 
     #[test]
     fn logical_bytes_tracks_churn_not_graph() {
-        let mut o = DeltaOverlay::new(Arc::new(crate::gen::gnm(500, 3000, 3)));
+        let mut o = DeltaOverlay::new(Arc::new(crate::gen::gnm(500, 3000, 3).into()));
         let clean = o.logical_bytes();
         assert_eq!(clean, 0, "clean overlay owns nothing");
         o.insert_edge(0, 499);

@@ -1,0 +1,119 @@
+//! Out-of-core storage tier: on-disk CSR graphs served through [`GraphView`].
+//!
+//! Everything else in this workspace assumes the graph fits in RAM.
+//! "Web-scale" does not: the paper's motivating graphs have CSR footprints
+//! past commodity memory, so this module adds a storage tier the query path
+//! can read *through* without deserialising the whole file:
+//!
+//! * [`Adaptor`] — byte-level read-at-offset access to a storage device,
+//!   with an [`AffineStorageProfile`] cost model per backend. Three
+//!   backends: [`MemAdaptor`] (heap), [`FsAdaptor`] (buffered positional
+//!   file reads), [`MmapAdaptor`] (demand-paged mapping).
+//! * [`disk`] — the `SRGD` on-disk CSR layout: a checksummed superblock,
+//!   four page-aligned segments (out/in offsets and elements), per-segment
+//!   FNV-1a checksums, and [`DiskGraph`], which implements [`GraphView`] by
+//!   faulting fixed-size pages in on demand, so SimPush and the walk
+//!   engines run on it unchanged.
+//! * [`placement`] — the cost-model-driven decision of which segments to
+//!   pin fully in RAM under a byte budget, plus tier/page-fault counters
+//!   ([`TierStats`]) for observability.
+//!
+//! The full layout, failure-mode, and cost-model story lives in
+//! `docs/STORAGE.md`; the conversion seam from the existing `SRG1` binary
+//! snapshot format is [`disk::convert_binary`].
+//!
+//! [`GraphView`]: crate::view::GraphView
+
+pub mod adaptor;
+pub mod disk;
+pub mod placement;
+
+pub use adaptor::{Adaptor, AffineStorageProfile, FsAdaptor, MemAdaptor, MmapAdaptor};
+pub use disk::{
+    convert_binary, write_disk_graph, DiskGraph, DiskGraphOptions, DEFAULT_PAGE_SIZE,
+    MAX_PAGE_SIZE, MIN_PAGE_SIZE,
+};
+pub use placement::{PlacementReport, SegmentId, SegmentPlacement, TierStats};
+
+/// Streaming FNV-1a 64-bit checksum — the integrity primitive of the `SRGD`
+/// format (superblock and per-segment checksums).
+///
+/// FNV-1a is not cryptographic; it defends against torn writes, truncation
+/// and bit rot, not adversaries. Chosen because it streams byte-at-a-time
+/// with no tables, so the writer computes it while emitting segments and
+/// the reader while validating them, in one pass each.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh checksum at the FNV offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.state = h;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// One-shot convenience: checksum of a single byte slice.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut f = Self::new();
+        f.update(bytes);
+        f.finish()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Fnv64;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Fnv64::digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv64::digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::digest(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut f = Fnv64::new();
+        for chunk in data.chunks(7) {
+            f.update(chunk);
+        }
+        assert_eq!(f.finish(), Fnv64::digest(&data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0u8; 1024];
+        let clean = Fnv64::digest(&data);
+        data[512] ^= 1;
+        assert_ne!(Fnv64::digest(&data), clean);
+    }
+}

@@ -23,8 +23,10 @@
 //! epoch's logical graph and querying it — the `prop_store` suite pins this
 //! under random interleavings and under a live 4-reader/1-writer race.
 
+use crate::base::GraphBase;
 use crate::csr::CsrGraph;
 use crate::overlay::DeltaOverlay;
+use crate::storage::DiskGraph;
 use crate::view::GraphView;
 use simrank_common::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,10 +82,11 @@ impl GraphSnapshot {
     /// Rebuilds this epoch's logical graph as a standalone [`CsrGraph`] —
     /// what an index-based method would have to do before answering.
     pub fn to_csr(&self) -> CsrGraph {
-        if self.overlay.is_clean() {
-            (**self.overlay.base()).clone()
-        } else {
-            self.overlay.rebuild()
+        match (self.overlay.is_clean(), self.overlay.base().as_ram()) {
+            // Clean RAM base: the CSR already exists, just clone it. A
+            // disk base has no in-memory CSR to share, clean or not.
+            (true, Some(csr)) => csr.clone(),
+            _ => self.overlay.rebuild(),
         }
     }
 
@@ -192,6 +195,32 @@ impl GraphStore {
     /// avoid; ask for `1` explicitly if that's really what you want to
     /// measure).
     pub fn with_compaction_threshold(base: CsrGraph, threshold: usize) -> Self {
+        Self::from_base(GraphBase::Ram(base), threshold)
+    }
+
+    /// Creates a store serving a **disk-resident** base (see
+    /// [`crate::storage`]) as epoch 0, with the
+    /// [default](DEFAULT_COMPACT_THRESHOLD) compaction threshold: live
+    /// updates accumulate in an in-RAM [`DeltaOverlay`] while untouched
+    /// neighbour reads fault through the storage tier.
+    ///
+    /// Compaction folds the overlay into a fresh **in-memory** CSR base —
+    /// an out-of-core store that churns past its threshold is telling you
+    /// the delta working set is large enough to deserve RAM. Re-tier with
+    /// [`storage::write_disk_graph`](crate::storage::write_disk_graph) if
+    /// the compacted graph should go back to disk.
+    pub fn open_disk(disk: DiskGraph) -> Self {
+        Self::from_base(GraphBase::Disk(disk), DEFAULT_COMPACT_THRESHOLD)
+    }
+
+    /// [`open_disk`](Self::open_disk) with an explicit compaction
+    /// threshold (same contract as
+    /// [`with_compaction_threshold`](Self::with_compaction_threshold)).
+    pub fn open_disk_with_threshold(disk: DiskGraph, threshold: usize) -> Self {
+        Self::from_base(GraphBase::Disk(disk), threshold)
+    }
+
+    fn from_base(base: GraphBase, threshold: usize) -> Self {
         assert!(threshold > 0, "compaction threshold must be ≥ 1");
         let base = Arc::new(base);
         let working = DeltaOverlay::new(base);
@@ -326,7 +355,10 @@ impl GraphStore {
         };
         if state.working.churn() >= self.compact_threshold {
             let t = Instant::now();
-            let fresh = Arc::new(state.working.rebuild());
+            // Compaction always lands in RAM, even over a disk base: the
+            // rebuild is already an in-memory CSR, and a store churning
+            // past its threshold has a delta working set that earns it.
+            let fresh = Arc::new(GraphBase::Ram(state.working.rebuild()));
             state.working = DeltaOverlay::new(fresh);
             info.compacted = true;
             info.compaction_time = t.elapsed();
@@ -490,6 +522,39 @@ mod tests {
             assert_eq!(info.epoch, want);
             assert_eq!(store.snapshot().epoch(), want);
         }
+    }
+
+    #[test]
+    fn disk_backed_store_serves_updates_and_compacts_to_ram() {
+        use crate::storage::{write_disk_graph, DiskGraph, DiskGraphOptions};
+        let g = gen::gnm(80, 400, 11);
+        let path = std::env::temp_dir().join("simrank-store-disk-test.srgd");
+        write_disk_graph(&g, &path, 512).unwrap();
+        let disk = DiskGraph::open_mem(&path, DiskGraphOptions::default()).unwrap();
+        let store = GraphStore::open_disk_with_threshold(disk, 3);
+
+        let snap = store.snapshot();
+        assert!(snap.overlay.base().is_disk(), "epoch 0 serves from disk");
+        assert_eq!(snap.to_csr(), g, "disk epoch rebuilds the same graph");
+
+        // A replica store over the RAM copy must stay equivalent.
+        let ram = GraphStore::with_compaction_threshold(g, 3);
+        let updates = [
+            GraphUpdate::Insert(0, 79),
+            GraphUpdate::Insert(1, 78),
+            GraphUpdate::Remove(0, 79),
+        ];
+        let (applied_d, info_d) = store.commit(&updates);
+        let (applied_r, info_r) = ram.commit(&updates);
+        assert_eq!(applied_d, applied_r);
+        assert_eq!(info_d.compacted, info_r.compacted);
+        assert!(info_d.compacted, "3 effective updates ≥ threshold 3");
+        let snap = store.snapshot();
+        assert!(
+            !snap.overlay.base().is_disk(),
+            "compaction folds the base into RAM"
+        );
+        assert_eq!(snap.to_csr(), ram.snapshot().to_csr());
     }
 
     #[test]

@@ -24,9 +24,9 @@ pub mod prelude {
     pub use simrank_common::NodeId;
     pub use simrank_graph::gen::shapes;
     pub use simrank_graph::{
-        CsrGraph, DeltaOverlay, GraphBuilder, GraphSnapshot, GraphStore, GraphUpdate, GraphView,
-        HashPartitioner, MutableGraph, Partitioner, RangePartitioner, ShardedSnapshot,
-        ShardedStore,
+        CsrGraph, DeltaOverlay, DiskGraph, DiskGraphOptions, GraphBase, GraphBuilder,
+        GraphSnapshot, GraphStore, GraphUpdate, GraphView, HashPartitioner, MutableGraph,
+        Partitioner, RangePartitioner, ShardedSnapshot, ShardedStore,
     };
     pub use simrank_walks::{pairwise_simrank_mc, WalkParams};
 }

@@ -1,0 +1,179 @@
+//! Property tests for the out-of-core storage tier: an `SRGD` file opened
+//! through **any** adaptor backend at **any** pin budget must present
+//! exactly the graph it was written from — every adjacency list
+//! bit-identical, and SimPush answers bit-identical — and a disk-backed
+//! [`GraphStore`] must stay equivalent to a RAM-backed one through
+//! updates, publishes and compaction.
+//!
+//! The page size is pinned to the minimum (256 bytes) so that even the
+//! small random graphs here exercise multi-page segments and
+//! boundary-spanning neighbour lists (the spill-table path).
+
+use proptest::prelude::*;
+use simpush::{Config, SimPush};
+use simrank_suite::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use simrank_suite::graph::storage::write_disk_graph;
+use simrank_suite::graph::{DiskGraph, DiskGraphOptions};
+
+/// Strategy: a random directed base graph as a built CSR.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..max_m).prop_map(
+            move |edges| {
+                GraphBuilder::new()
+                    .with_num_nodes(n)
+                    .with_edges(edges)
+                    .build()
+            },
+        )
+    })
+}
+
+/// A fresh file path per case so parallel test binaries and successive
+/// cases never collide.
+fn scratch_file() -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "simrank-prop-disk-{}-{id}.srgd",
+        std::process::id()
+    ))
+}
+
+fn assert_same_graph(disk: &DiskGraph, want: &CsrGraph, label: &str) {
+    assert_eq!(disk.num_nodes(), want.num_nodes(), "{label}: n");
+    assert_eq!(disk.num_edges(), want.num_edges(), "{label}: m");
+    for v in 0..want.num_nodes() as NodeId {
+        assert_eq!(
+            disk.out_neighbors(v),
+            want.out_neighbors(v),
+            "{label}: out-neighbours of {v}"
+        );
+        assert_eq!(
+            disk.in_neighbors(v),
+            want.in_neighbors(v),
+            "{label}: in-neighbours of {v}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Round trip through every backend × budget combination: adjacency and
+    // SimPush answers must be bit-identical to the source CSR.
+    #[test]
+    fn every_backend_and_budget_is_bit_identical(
+        g in arb_graph(40, 200),
+        eps in 0.02f64..0.1,
+    ) {
+        let path = scratch_file();
+        write_disk_graph(&g, &path, 256).unwrap();
+        // A mid-range budget that pins some segments but (for non-trivial
+        // graphs) not all of them.
+        let partial = (g.num_nodes() as u64 + 1) * 8 + g.num_edges() as u64 * 2;
+        let engine = SimPush::new(Config::new(eps));
+        let probes: Vec<NodeId> =
+            vec![0, (g.num_nodes() / 2) as NodeId, (g.num_nodes() - 1) as NodeId];
+        for budget in [0u64, partial, u64::MAX] {
+            let opts = DiskGraphOptions::with_budget(budget);
+            for (disk, backend) in [
+                (DiskGraph::open_mem(&path, opts).unwrap(), "mem"),
+                (DiskGraph::open_fs(&path, opts).unwrap(), "fs"),
+                (DiskGraph::open_mmap(&path, opts).unwrap(), "mmap"),
+            ] {
+                let label = format!("{backend}/budget={budget}");
+                assert_same_graph(&disk, &g, &label);
+                for &u in &probes {
+                    let on_disk = engine.query_seeded(&disk, u);
+                    let on_ram = engine.query_seeded(&g, u);
+                    prop_assert_eq!(
+                        on_disk.scores,
+                        on_ram.scores,
+                        "{}: SimPush scores diverged at u={}",
+                        &label,
+                        u
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // A disk-backed GraphStore must stay equivalent to a RAM-backed one
+    // through the same update/publish/compaction sequence.
+    #[test]
+    fn disk_backed_store_tracks_ram_backed_store(
+        base in arb_graph(24, 80),
+        ops in proptest::collection::vec((0u8..4, 0usize..10_000, 0usize..10_000), 0..40),
+        threshold in 1usize..10,
+    ) {
+        let path = scratch_file();
+        write_disk_graph(&base, &path, 256).unwrap();
+        let disk = DiskGraph::open_mem(&path, DiskGraphOptions::default()).unwrap();
+        let disk_store = GraphStore::open_disk_with_threshold(disk, threshold);
+        let ram_store = GraphStore::with_compaction_threshold(base.clone(), threshold);
+        let n = base.num_nodes();
+        for (kind, a, b) in ops {
+            let (s, t) = ((a % n) as NodeId, (b % n) as NodeId);
+            match kind {
+                0 | 1 => {
+                    let x = disk_store.insert_edge(s, t);
+                    let y = ram_store.insert_edge(s, t);
+                    prop_assert_eq!(x, y, "insert ({}, {}) diverged", s, t);
+                }
+                2 => {
+                    let x = disk_store.remove_edge(s, t);
+                    let y = ram_store.remove_edge(s, t);
+                    prop_assert_eq!(x, y, "remove ({}, {}) diverged", s, t);
+                }
+                _ => {
+                    let x = disk_store.publish();
+                    let y = ram_store.publish();
+                    prop_assert_eq!(x.epoch, y.epoch);
+                    prop_assert_eq!(x.compacted, y.compacted);
+                    prop_assert_eq!(x.touched, y.touched);
+                }
+            }
+        }
+        disk_store.publish();
+        ram_store.publish();
+        let d = disk_store.snapshot();
+        let r = ram_store.snapshot();
+        prop_assert_eq!(d.epoch(), r.epoch());
+        let dc = d.to_csr();
+        prop_assert_eq!(&dc, &r.to_csr());
+        prop_assert!(dc.validate().is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The spill path specifically: a star whose hub list is much larger than
+/// a page must round-trip through every backend with zero pinning.
+#[test]
+fn page_spanning_hub_round_trips_unpinned() {
+    let hub_degree = 500;
+    let edges: Vec<(NodeId, NodeId)> = (0..hub_degree).map(|t| (0, t + 1)).collect();
+    let g = GraphBuilder::new()
+        .with_num_nodes(hub_degree as usize + 1)
+        .with_edges(edges)
+        .build();
+    let path = scratch_file();
+    write_disk_graph(&g, &path, 256).unwrap();
+    let opts = DiskGraphOptions::disk_resident();
+    for (disk, backend) in [
+        (DiskGraph::open_mem(&path, opts).unwrap(), "mem"),
+        (DiskGraph::open_fs(&path, opts).unwrap(), "fs"),
+        (DiskGraph::open_mmap(&path, opts).unwrap(), "mmap"),
+    ] {
+        assert_same_graph(&disk, &g, backend);
+        assert!(
+            disk.stats().spill_hits > 0,
+            "{backend}: the hub list must be served from the spill table"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,286 @@
+//! Vendored, dependency-free stand-in for the [`memmap2`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the one thing the storage tier needs from `memmap2` — a read-only,
+//! shareable memory mapping of a file — is reimplemented here under the
+//! same crate name.
+//!
+//! Divergence from the real crate, on purpose:
+//!
+//! * Only **read-only whole-file** mappings exist ([`Mmap::map_file`]).
+//!   There is no `MmapOptions`, no mutable mapping, no flush machinery.
+//! * The constructor is **safe** where the real crate's is `unsafe`. The
+//!   real crate pushes the "what if another process truncates the file
+//!   while mapped" hazard (a `SIGBUS` on access) to the caller as an
+//!   `unsafe` obligation; this workspace's disk-graph reader owns that
+//!   trade-off once, here, and documents it: mapping a file that is
+//!   concurrently truncated can crash the process on access. The storage
+//!   layer treats graph snapshot files as immutable once written, which is
+//!   what makes this acceptable.
+//! * On non-Unix targets the "mapping" is an ordinary heap buffer read
+//!   from the file — semantically identical for read-only use, just
+//!   without the demand-paging economics. CI and the benchmark
+//!   interpretation both assume Unix.
+//!
+//! This is the **only** crate in the workspace allowed to contain `unsafe`
+//! code (every first-party crate declares `#![forbid(unsafe_code)]`); the
+//! unsafety lives in the `mmap`/`munmap` FFI below and in viewing the
+//! mapped pages as a byte slice, both confined to this file.
+//!
+//! ```
+//! use std::io::Write;
+//! let dir = std::env::temp_dir().join("memmap2-doctest");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("hello.bin");
+//! std::fs::File::create(&path).unwrap().write_all(b"hello").unwrap();
+//! let map = memmap2::Mmap::map_file(&std::fs::File::open(&path).unwrap()).unwrap();
+//! assert_eq!(&map[..], b"hello");
+//! ```
+//!
+//! [`memmap2`]: https://crates.io/crates/memmap2
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+
+/// A read-only memory mapping of an entire file.
+///
+/// Dereferences to `[u8]`. The mapping is private (copy-on-write flags,
+/// never written) and lives until drop; it is `Send + Sync` because the
+/// pages are never mutated through it.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// A zero-length file maps to an empty slice without touching the OS
+    /// mapping machinery (POSIX `mmap` rejects zero-length requests).
+    ///
+    /// See the module docs for why this is safe here while the real
+    /// crate's equivalent is `unsafe`: the caller promises the file is not
+    /// truncated by another process while the mapping is alive.
+    pub fn map_file(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                inner: Inner::Empty,
+            });
+        }
+        Ok(Mmap {
+            inner: Inner::map(file, len)?,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Empty => &[],
+            inner => inner.as_slice(),
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True if the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// A live POSIX mapping (never zero-length).
+    #[derive(Debug)]
+    pub enum Inner {
+        /// Zero-length file: no OS mapping exists.
+        Empty,
+        /// A real mapping: base pointer + length, unmapped on drop.
+        Map {
+            /// Page-aligned base address returned by `mmap`.
+            ptr: *mut c_void,
+            /// Mapping length in bytes (what `munmap` needs back).
+            len: usize,
+        },
+    }
+
+    // SAFETY: the mapping is PROT_READ and this crate exposes no way to
+    // write through it, so concurrent shared access is data-race-free.
+    unsafe impl Send for Inner {}
+    // SAFETY: as above — immutable pages, read-only API.
+    unsafe impl Sync for Inner {}
+
+    impl Inner {
+        pub fn map(file: &File, len: usize) -> io::Result<Inner> {
+            // SAFETY: fd is a live descriptor borrowed for the duration of
+            // the call; addr=null lets the kernel pick placement; len > 0
+            // is guaranteed by the caller.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Inner::Map { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            match *self {
+                Inner::Empty => &[],
+                // SAFETY: ptr/len describe a live PROT_READ mapping owned
+                // by self; the slice's lifetime is tied to &self, and drop
+                // (the only unmap) needs &mut/ownership.
+                Inner::Map { ptr, len } => unsafe {
+                    std::slice::from_raw_parts(ptr as *const u8, len)
+                },
+            }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if let Inner::Map { ptr, len } = *self {
+                // SAFETY: ptr/len are exactly what mmap returned; after
+                // drop no slice into the mapping can exist (lifetimes).
+                unsafe {
+                    munmap(ptr, len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::fs::File;
+    use std::io::{self, Read, Seek, SeekFrom};
+
+    /// Portable fallback: the whole file buffered on the heap. Same
+    /// read-only semantics as a mapping, without demand paging.
+    #[derive(Debug)]
+    pub enum Inner {
+        /// Zero-length file.
+        Empty,
+        /// Heap-buffered file contents.
+        Buf(Vec<u8>),
+    }
+
+    impl Inner {
+        pub fn map(file: &File, len: usize) -> io::Result<Inner> {
+            let mut f = file.try_clone()?;
+            f.seek(SeekFrom::Start(0))?;
+            let mut buf = Vec::with_capacity(len);
+            f.read_to_end(&mut buf)?;
+            Ok(Inner::Buf(buf))
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            match self {
+                Inner::Empty => &[],
+                Inner::Buf(b) => b,
+            }
+        }
+    }
+}
+
+use sys::Inner;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("memmap2-vendor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = write_temp("contents.bin", b"0123456789abcdef");
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), 16);
+        assert!(!map.is_empty());
+        assert_eq!(&map[..4], b"0123");
+        assert_eq!(&map[12..], b"cdef");
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = write_temp("empty.bin", b"");
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = write_temp("shared.bin", &[7u8; 4096]);
+        let map = std::sync::Arc::new(Mmap::map_file(&File::open(&path).unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = map.clone();
+                std::thread::spawn(move || m.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+    }
+
+    #[test]
+    fn large_mapping_round_trips() {
+        // Cross a few page boundaries to exercise real mapping arithmetic.
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let path = write_temp("large.bin", &data);
+        let map = Mmap::map_file(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&map[..], &data[..]);
+    }
+}
